@@ -1,0 +1,62 @@
+"""Shared benchmark fixtures and the figure-report helper.
+
+Every bench regenerates one table or figure from the paper. Results are
+printed to stdout *and* appended to ``benchmarks/results/<name>.txt`` so
+the series survive pytest's output capturing; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class FigureReport:
+    """Collects the rows of one regenerated figure/table."""
+
+    def __init__(self, name: str, title: str) -> None:
+        self.name = name
+        self.title = title
+        self.lines: list[str] = []
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+
+    def table(self, header: str, rows: list[str]) -> None:
+        self.lines.append(header)
+        self.lines.append("-" * len(header))
+        self.lines.extend(rows)
+
+    def emit(self) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        body = "\n".join(
+            [f"== {self.title} ==", *self.lines, ""]
+        )
+        (RESULTS_DIR / f"{self.name}.txt").write_text(body)
+        print("\n" + body)
+        return body
+
+
+@pytest.fixture
+def report(request) -> FigureReport:
+    """A per-test figure report named after the test module."""
+    module = request.module.__name__.split(".")[-1]
+    name = module.replace("test_", "")
+    title = getattr(request.module, "TITLE", name)
+    fig = FigureReport(name, title)
+    yield fig
+    fig.emit()
+
+
+@pytest.fixture(scope="session")
+def bench_tensor():
+    """The shared trained-checkpoint tensor for quantization benches."""
+    from repro.experiments import trained_embedding_matrix
+
+    return trained_embedding_matrix(
+        rows=8192, dim=16, train_batches=200, num_tables=4, seed=11
+    )

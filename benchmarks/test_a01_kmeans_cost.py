@@ -1,0 +1,72 @@
+"""Ablation a01: why Check-N-Run rejects k-means quantization.
+
+Paper (section 5.2, A2): k-means' mean l2 error is only marginally
+better than adaptive asymmetric, but clustering one production
+checkpoint took > 48 hours — orders of magnitude slower than uniform
+methods. The bench measures both sides of that trade on real tensors
+and projects to paper scale with the calibrated latency model.
+"""
+
+from __future__ import annotations
+
+from repro.distributed.clock import Stopwatch
+from repro.metrics.latency import REFERENCE_ELEMENTS, LatencyModel
+from repro.quant import make_quantizer, mean_l2_error
+
+TITLE = "Ablation a01 - k-means cost vs adaptive asymmetric"
+
+
+def _run(tensor):
+    # 2 bits: 4 clusters over 16-wide rows keeps the cluster-to-element
+    # ratio of the paper's setup (16 clusters over ~64-wide vectors);
+    # at equal counts k-means would trivially hit zero error.
+    sample = tensor[:2048]
+    out = {}
+    for name in ("asymmetric", "adaptive", "kmeans"):
+        quantizer = make_quantizer(name, bits=2, num_bins=25)
+        watch = Stopwatch()
+        with watch:
+            qt = quantizer.quantize(sample)
+        out[name] = (
+            watch.elapsed,
+            mean_l2_error(sample, quantizer.dequantize(qt)),
+        )
+    return out
+
+
+def test_a01_kmeans_cost(benchmark, report, bench_tensor):
+    results = benchmark.pedantic(
+        _run, args=(bench_tensor,), rounds=1, iterations=1
+    )
+    model = LatencyModel()
+    paper_scale = {
+        "asymmetric": model.asymmetric_s(REFERENCE_ELEMENTS),
+        "adaptive": model.adaptive_s(REFERENCE_ELEMENTS, 25, 1.0),
+        "kmeans": model.kmeans_s(REFERENCE_ELEMENTS, 4),  # paper's k=16
+    }
+
+    report.table(
+        "method       local_seconds   mean_l2      paper_scale",
+        [
+            f"{name:12s} {results[name][0]:13.3f}   "
+            f"{results[name][1]:.6f}   {paper_scale[name]:10.0f}s"
+            for name in ("asymmetric", "adaptive", "kmeans")
+        ],
+    )
+
+    kmeans_time, kmeans_err = results["kmeans"]
+    adaptive_time, adaptive_err = results["adaptive"]
+    asym_time, asym_err = results["asymmetric"]
+    # k-means is at best marginally better on error than adaptive...
+    assert kmeans_err < adaptive_err * 1.2
+    assert kmeans_err < asym_err
+    # ...but "orders of magnitude slower than uniform quantization".
+    assert kmeans_time > 20 * asym_time
+    assert kmeans_time > 2 * adaptive_time
+    # Paper-scale projection: ~48 hours vs minutes.
+    assert paper_scale["kmeans"] > 40 * 3600
+    report.row(
+        f"measured slowdown vs uniform: {kmeans_time / asym_time:.0f}x; "
+        f"projected paper-scale k-means: "
+        f"{paper_scale['kmeans'] / 3600:.0f} hours (paper: > 48 h)"
+    )

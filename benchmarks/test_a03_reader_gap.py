@@ -1,0 +1,83 @@
+"""Ablation a03: the trainer-reader state gap (section 4.1).
+
+Without Check-N-Run's exact-batch-count coordination, the reader's
+prefetch queue holds in-flight batches at checkpoint time; resuming
+from such a checkpoint silently skips them. With coordination the
+resume is seamless. The bench quantifies the skipped samples.
+"""
+
+from __future__ import annotations
+
+from repro.config import ReaderConfig
+from repro.experiments import build_experiment, small_config
+
+TITLE = "Ablation a03 - reader-trainer gap with/without coordination"
+
+
+def _run():
+    results = {}
+    # Uncoordinated: free-running prefetch, state gap on resume.
+    config = small_config().with_overrides(
+        reader=ReaderConfig(
+            num_workers=4, prefetch_depth=8, coordinated=False
+        )
+    )
+    exp = build_experiment(config)
+    trained: list[int] = []
+    exp.trainer.register_step_hook(
+        lambda result, batch: trained.append(batch.batch_index)
+    )
+    for _ in range(20):
+        exp.trainer.train_one_batch()
+    state = exp.reader.collect_state()
+    exp.reader.restore(state)
+    resumed = exp.reader.next_batch().batch_index
+    results["uncoordinated"] = {
+        "last_trained": trained[-1],
+        "resumed_at": resumed,
+        "skipped_batches": resumed - trained[-1] - 1,
+        "in_flight_at_checkpoint": state.in_flight,
+    }
+
+    # Coordinated: quota-driven reads, zero in-flight at interval end.
+    exp2 = build_experiment(small_config())
+    trained2: list[int] = []
+    exp2.trainer.register_step_hook(
+        lambda result, batch: trained2.append(batch.batch_index)
+    )
+    exp2.controller.coordinator.grant_interval(20)
+    exp2.trainer.train_interval(20)
+    state2 = exp2.controller.coordinator.collect_state()
+    exp2.reader.restore(state2)
+    exp2.controller.coordinator.grant_interval(1)
+    resumed2 = exp2.reader.next_batch().batch_index
+    results["coordinated"] = {
+        "last_trained": trained2[-1],
+        "resumed_at": resumed2,
+        "skipped_batches": resumed2 - trained2[-1] - 1,
+        "in_flight_at_checkpoint": state2.in_flight,
+    }
+    return results
+
+
+def test_a03_reader_gap(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report.table(
+        "mode            last_trained  resumed_at  skipped  in_flight",
+        [
+            f"{mode:14s} {r['last_trained']:13d} {r['resumed_at']:11d} "
+            f"{r['skipped_batches']:8d} {r['in_flight_at_checkpoint']:9d}"
+            for mode, r in results.items()
+        ],
+    )
+
+    assert results["uncoordinated"]["skipped_batches"] > 0
+    assert results["uncoordinated"]["in_flight_at_checkpoint"] > 0
+    assert results["coordinated"]["skipped_batches"] == 0
+    assert results["coordinated"]["in_flight_at_checkpoint"] == 0
+    report.row(
+        f"uncoordinated resume silently skipped "
+        f"{results['uncoordinated']['skipped_batches']} batches; "
+        "coordinated resume skipped none"
+    )

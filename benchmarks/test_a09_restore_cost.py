@@ -1,0 +1,79 @@
+"""Ablation a09: restore cost per incremental policy (section 5.1).
+
+The write-side savings of the consecutive policy (flat, small
+increments) are paid for at restore time: "all previous checkpoints
+must be read for recovery", while one-shot/intermittent read only the
+baseline plus the latest increment. This bench crashes the same
+workload under each policy after N intervals and measures the restore's
+chain length and bytes read.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_experiment, small_config
+
+TITLE = "Ablation a09 - restore chain length and bytes read per policy"
+
+POLICIES = ("full", "one_shot", "intermittent", "consecutive")
+
+
+def _run():
+    results = {}
+    for policy in POLICIES:
+        exp = build_experiment(
+            small_config(
+                policy=policy,
+                quantizer="none",
+                interval_batches=10,
+                num_tables=4,
+                rows_per_table=8192,
+                batch_size=128,
+                keep_last=1_000_000,
+            )
+        )
+        exp.controller.run_intervals(8)
+        exp.clock.advance_to(exp.store.timeline.free_at + 1.0, "drain")
+        exp.model.reinitialize()
+        report = exp.controller.restore_latest()
+        results[policy] = {
+            "chain": len(report.chain_ids),
+            "bytes": report.bytes_read,
+            "rows": report.rows_restored,
+        }
+    return results
+
+
+def test_a09_restore_cost(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report.table(
+        "policy         chain_length   MiB_read   rows_restored",
+        [
+            f"{policy:14s} {r['chain']:12d}   "
+            f"{r['bytes'] / (1024 * 1024):8.2f}   {r['rows']:13d}"
+            for policy, r in results.items()
+        ],
+    )
+
+    # Full restores exactly one checkpoint; one-shot/intermittent read
+    # a baseline + one increment; consecutive walks the whole chain.
+    assert results["full"]["chain"] == 1
+    assert results["one_shot"]["chain"] == 2
+    assert results["intermittent"]["chain"] <= 2
+    assert results["consecutive"]["chain"] >= 5
+    # Consecutive reads the most data at recovery...
+    assert (
+        results["consecutive"]["bytes"] > results["full"]["bytes"]
+    )
+    # ...which is the trade the paper resolves with the intermittent
+    # default: near-full restore cost, incremental write cost.
+    assert (
+        results["intermittent"]["bytes"]
+        < results["consecutive"]["bytes"]
+    )
+    report.row(
+        f"consecutive read {results['consecutive']['chain']} "
+        "checkpoints to recover; intermittent read "
+        f"{results['intermittent']['chain']} (the paper's default "
+        "trade-off)"
+    )

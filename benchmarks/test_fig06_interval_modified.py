@@ -1,0 +1,67 @@
+"""Fig 6: fraction of model modified during fixed-length intervals.
+
+Paper: for a given interval length the modified fraction is almost the
+same in every interval (e.g. ~26% in every 30-minute interval), and
+longer intervals touch more.
+
+Reproduction: the same Zipf-lookup trace cut into 10/20/30/60-minute
+windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import interval_modified_experiment
+
+TITLE = "Fig 6 - % of model modified per 10/20/30/60-minute interval"
+
+
+def _run():
+    return interval_modified_experiment(
+        rows=200_000,
+        alpha=1.05,
+        lookups_per_minute=4_000,
+        total_minutes=360,
+        interval_minutes=(10, 20, 30, 60),
+        seed=32,
+    )
+
+
+def test_fig06_interval_modified(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    report.table(
+        "interval_min   mean_fraction   min..max across windows",
+        [
+            f"{r.interval_steps:12d}   {r.mean_fraction:13.3f}   "
+            f"{min(r.fractions):.3f}..{max(r.fractions):.3f}"
+            for r in results
+        ],
+    )
+
+    # Longer intervals touch more of the model.
+    means = [r.mean_fraction for r in results]
+    assert means == sorted(means)
+
+    # Stability within an interval length (paper: "remains almost the
+    # same in all intervals").
+    for result in results:
+        rel_spread = (max(result.fractions) - min(result.fractions)) / (
+            result.mean_fraction
+        )
+        assert rel_spread < 0.1, (
+            f"{result.interval_steps}-minute windows vary by "
+            f"{rel_spread:.1%}"
+        )
+
+    # Sub-additivity: doubling the interval less than doubles the
+    # fraction (hot rows repeat).
+    by_len = {r.interval_steps: r.mean_fraction for r in results}
+    assert by_len[60] < 2 * by_len[30]
+    assert by_len[20] < 2 * by_len[10]
+    report.row(
+        f"30-min interval mean fraction: {by_len[30]:.3f} "
+        "(paper: ~0.26)"
+    )
+    assert 0.05 < by_len[30] < 0.6

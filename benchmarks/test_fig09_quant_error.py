@@ -1,0 +1,56 @@
+"""Fig 9: mean l2 error of the four quantization approaches.
+
+Paper ordering at each bit width: symmetric worst; asymmetric better
+(values are not symmetrically distributed); k-means-per-vector slightly
+better still (except 4-bit, where init randomness makes it marginally
+worse); adaptive asymmetric comparable to k-means. Error shrinks with
+bit width.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import quant_error_comparison
+
+TITLE = "Fig 9 - mean l2 error per quantization approach and bit width"
+
+
+def test_fig09_quant_error(benchmark, report, bench_tensor):
+    rows = benchmark.pedantic(
+        quant_error_comparison,
+        args=(bench_tensor,),
+        kwargs={"bit_widths": (2, 3, 4, 8)},
+        rounds=1,
+        iterations=1,
+    )
+
+    by_key = {(r.method, r.bits): r.mean_l2 for r in rows}
+    report.table(
+        "bits   symmetric   asymmetric   kmeans   adaptive",
+        [
+            f"{bits:4d}   "
+            f"{by_key[('symmetric', bits)]:9.5f}   "
+            f"{by_key[('asymmetric', bits)]:10.5f}   "
+            f"{by_key[('kmeans', bits)]:6.5f}   "
+            f"{by_key[('adaptive', bits)]:8.5f}"
+            for bits in (2, 3, 4, 8)
+        ],
+    )
+
+    for bits in (2, 3, 4, 8):
+        sym = by_key[("symmetric", bits)]
+        asym = by_key[("asymmetric", bits)]
+        adaptive = by_key[("adaptive", bits)]
+        # Paper: asymmetric consistently beats symmetric.
+        assert asym < sym, f"asymmetric should win at {bits} bits"
+        # Paper: adaptive never loses to naive asymmetric.
+        assert adaptive <= asym * 1.001
+
+    # Error decreases with bit width for every method.
+    for method in ("symmetric", "asymmetric", "kmeans", "adaptive"):
+        series = [by_key[(method, b)] for b in (2, 3, 4, 8)]
+        assert series == sorted(series, reverse=True)
+
+    report.row(
+        "orderings verified: asym < sym at all widths; adaptive <= asym;"
+        " error monotone in bit width"
+    )

@@ -1,0 +1,49 @@
+"""Fig 10: adaptive-vs-naive l2 improvement as a function of num_bins.
+
+Paper: improvement grows with the number of bins and is largest for the
+lowest bit widths (up to ~25-30% at 2 bits); the curve flattens around
+25-45 bins.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import adaptive_bins_sweep, optimal_bins
+
+TITLE = "Fig 10 - adaptive improvement over naive asymmetric vs num_bins"
+
+BINS = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50)
+
+
+def test_fig10_adaptive_bins(benchmark, report, bench_tensor):
+    points = benchmark.pedantic(
+        adaptive_bins_sweep,
+        args=(bench_tensor,),
+        kwargs={"bit_widths": (2, 3, 4), "bins_values": BINS},
+        rounds=1,
+        iterations=1,
+    )
+
+    series = {
+        bits: [p.improvement for p in points if p.bits == bits]
+        for bits in (2, 3, 4)
+    }
+    report.table(
+        "bins    2-bit     3-bit     4-bit",
+        [
+            f"{bins:4d}   {series[2][i]:6.1%}   {series[3][i]:6.1%}   "
+            f"{series[4][i]:6.1%}"
+            for i, bins in enumerate(BINS)
+        ],
+    )
+    for bits in (2, 3, 4):
+        report.row(
+            f"{bits}-bit optimal bins: {optimal_bins(points, bits)}"
+        )
+
+    # Improvement is non-negative everywhere and meaningful at 2 bits.
+    assert all(p.improvement >= -1e-9 for p in points)
+    assert max(series[2]) > 0.05
+    # Lower widths gain at least as much as higher ones at the optimum.
+    assert max(series[2]) >= max(series[4])
+    # The curve grows from few bins to the optimum.
+    assert series[2][-1] >= series[2][0]

@@ -1,0 +1,57 @@
+"""Fig 11: adaptive improvement as a function of the ratio parameter.
+
+Paper: lower bit widths are more sensitive to ratio; improvement
+saturates as the ratio approaches the point where the greedy search has
+covered the useful part of the range (bins fixed at each width's
+optimum from Fig 10).
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    adaptive_bins_sweep,
+    adaptive_ratio_sweep,
+    optimal_bins,
+)
+
+TITLE = "Fig 11 - adaptive improvement vs ratio (at optimal bins)"
+
+RATIOS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def test_fig11_adaptive_ratio(benchmark, report, bench_tensor):
+    bins_points = adaptive_bins_sweep(
+        bench_tensor, bit_widths=(2, 3, 4)
+    )
+    bins_per_width = {
+        bits: optimal_bins(bins_points, bits) for bits in (2, 3, 4)
+    }
+
+    points = benchmark.pedantic(
+        adaptive_ratio_sweep,
+        args=(bench_tensor, bins_per_width),
+        kwargs={"ratios": RATIOS},
+        rounds=1,
+        iterations=1,
+    )
+
+    series = {
+        bits: [p.improvement for p in points if p.bits == bits]
+        for bits in (2, 3, 4)
+    }
+    report.row(f"optimal bins per width: {bins_per_width}")
+    report.table(
+        "ratio    2-bit     3-bit     4-bit",
+        [
+            f"{ratio:5.1f}   {series[2][i]:6.1%}   {series[3][i]:6.1%}   "
+            f"{series[4][i]:6.1%}"
+            for i, ratio in enumerate(RATIOS)
+        ],
+    )
+
+    # Improvement grows (or saturates) with ratio for every width.
+    for bits in (2, 3, 4):
+        assert series[bits][-1] >= series[bits][0] - 1e-9
+    # 2-bit ends with the largest gain (paper: lower widths gain more).
+    assert max(series[2]) >= max(series[3]) - 1e-9
+    assert max(series[2]) >= max(series[4]) - 1e-9

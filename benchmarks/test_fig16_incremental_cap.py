@@ -1,0 +1,63 @@
+"""Fig 16: required storage capacity per interval, 3 policies.
+
+Paper: one-shot needs baseline + latest increment (slow growth);
+intermittent resets to 1x at each baseline refresh; consecutive must
+keep every increment and approaches ~4x the model size after 11
+intervals — which is why Check-N-Run defaults to intermittent.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import incremental_policy_experiment
+
+TITLE = "Fig 16 - required storage capacity per interval (x model size)"
+
+
+def _run():
+    return incremental_policy_experiment(num_intervals=12)
+
+
+def test_fig16_incremental_capacity(benchmark, report):
+    runs = benchmark.pedantic(_run, rounds=1, iterations=1)
+    by_policy = {r.policy: r for r in runs}
+
+    header = "interval   " + "   ".join(
+        f"{r.policy:>12s}" for r in runs
+    )
+    rows = [
+        f"{i:8d}   "
+        + "   ".join(
+            f"{r.capacity_fractions[i]:12.2f}" for r in runs
+        )
+        for i in range(12)
+    ]
+    report.table(header, rows)
+
+    one_shot = by_policy["one_shot"].capacity_fractions
+    intermittent = by_policy["intermittent"]
+    consecutive = by_policy["consecutive"].capacity_fractions
+
+    # Consecutive accumulates every increment: the largest footprint.
+    assert consecutive[-1] > one_shot[-1]
+    assert consecutive[-1] > 2.5  # paper: ~4x after 11 intervals
+    report.row(
+        f"consecutive reaches {consecutive[-1]:.2f}x the model size "
+        "(paper: ~4x)"
+    )
+
+    # One-shot capacity = 1 + latest increment, under 2x throughout.
+    assert all(c < 2.0 for c in one_shot)
+
+    # Intermittent resets to ~1x at its baseline refresh.
+    refresh = [
+        i
+        for i, kind in enumerate(intermittent.kinds)
+        if kind == "full" and i > 0
+    ]
+    assert refresh, "intermittent never refreshed its baseline"
+    assert intermittent.capacity_fractions[refresh[0]] < 1.1
+    report.row(
+        f"intermittent capacity resets to "
+        f"{intermittent.capacity_fractions[refresh[0]]:.2f}x at "
+        f"interval {refresh[0]} (paper: resets to 1x at interval 8)"
+    )

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Failure recovery: training under a production-like failure process.
+
+Two views of the same trade-off the paper motivates (section 3.1):
+
+* **micro** — a real training job driven by a failure injector; every
+  crash loses the live state, restores from the newest valid
+  checkpoint, and re-trains the lost batches. Reported: goodput and
+  wasted work per checkpoint interval length.
+* **macro** — a Bistro-like fleet scheduler running a month of jobs on
+  failure-prone clusters (the Fig 3 regime), showing how checkpoint
+  frequency bounds fleet-wide wasted hours.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import build_experiment, small_config
+from repro.failures import (
+    ExponentialFailures,
+    FailureInjector,
+    FleetScheduler,
+    make_job_batch,
+    paper_failure_model,
+)
+
+
+def micro_injection() -> None:
+    print("== micro: one training job under failure injection ==")
+    print(f"{'interval':>10s} {'failures':>9s} {'wasted':>7s} {'goodput':>8s}")
+    for interval_batches in (4, 8, 16):
+        exp = build_experiment(
+            small_config(
+                interval_batches=interval_batches,
+                num_tables=3,
+                rows_per_table=2048,
+                batch_size=64,
+                quantizer="asymmetric",
+                bit_width=8,
+            )
+        )
+        injector = FailureInjector(
+            exp.controller,
+            ExponentialFailures(4.0),  # MTTF of 4 simulated seconds
+            seed=17,
+        )
+        report = injector.run(target_intervals=48 // interval_batches)
+        print(
+            f"{interval_batches:>10d} {report.failures:>9d} "
+            f"{report.wasted_batches:>7d} {report.goodput:>8.1%}"
+        )
+    print(
+        "shorter intervals bound the re-training loss per failure\n"
+    )
+
+
+def macro_fleet() -> None:
+    print("== macro: a fleet month under the paper's failure model ==")
+    model = paper_failure_model()  # Weibull fit to Fig 3's quantiles
+    jobs = make_job_batch(60, mean_required_hours=48.0, seed=18)
+    print(
+        f"{'ckpt interval':>14s} {'failures':>9s} "
+        f"{'wasted_h':>9s} {'waste%':>7s} {'makespan_h':>11s}"
+    )
+    for interval_hours in (0.5, 2.0, 8.0):
+        scheduler = FleetScheduler(
+            num_clusters=21,  # the paper's fleet
+            failure_model=model,
+            checkpoint_interval_hours=interval_hours,
+            seed=19,
+        )
+        # Jobs are stateful; re-create them per run.
+        report = scheduler.run(
+            make_job_batch(60, mean_required_hours=48.0, seed=18)
+        )
+        print(
+            f"{interval_hours:>13.1f}h {report.total_failures:>9d} "
+            f"{report.total_wasted_hours:>9.1f} "
+            f"{report.waste_fraction:>7.1%} "
+            f"{report.makespan_hours:>11.1f}"
+        )
+    print(
+        "the paper's default 30-minute interval keeps fleet waste low;\n"
+        "Check-N-Run's bandwidth savings are what make that frequency "
+        "affordable"
+    )
+
+
+def main() -> None:
+    micro_injection()
+    macro_fleet()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""A tour of Check-N-Run's checkpoint quantization (paper section 5.2).
+
+Walks through every quantization approach on a genuinely trained
+checkpoint tensor:
+
+1. symmetric vs asymmetric uniform quantization;
+2. k-means per vector (better error, prohibitive run time);
+3. adaptive asymmetric with the greedy range search;
+4. the sampling profiler that auto-tunes num_bins / ratio;
+5. dynamic bit-width selection from the expected restore count.
+
+Run:  python examples/quantization_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.core.bitwidth import select_bit_width
+from repro.distributed.clock import Stopwatch
+from repro.experiments import trained_embedding_matrix
+from repro.quant import make_quantizer, mean_l2_error
+from repro.quant.profiler import select_num_bins, select_ratio
+
+
+def main() -> None:
+    print("training a small DLRM to obtain a realistic checkpoint ...")
+    tensor = trained_embedding_matrix(
+        rows=4096, dim=16, train_batches=150
+    )
+    print(
+        f"checkpoint tensor: {tensor.shape[0]} rows x {tensor.shape[1]} "
+        f"dims, {tensor.nbytes / 1024:.0f} KiB fp32\n"
+    )
+
+    print("== approach comparison (paper Fig 9) ==")
+    print(
+        f"{'method':>11s} {'bits':>5s} {'mean_l2':>10s} "
+        f"{'size_KiB':>9s} {'ratio':>6s} {'seconds':>8s}"
+    )
+    for bits in (2, 4, 8):
+        for method in ("symmetric", "asymmetric", "kmeans", "adaptive"):
+            quantizer = make_quantizer(method, bits=bits, num_bins=25)
+            watch = Stopwatch()
+            with watch:
+                qt = quantizer.quantize(tensor)
+            err = mean_l2_error(tensor, quantizer.dequantize(qt))
+            print(
+                f"{method:>11s} {bits:>5d} {err:>10.5f} "
+                f"{qt.nbytes / 1024:>9.1f} "
+                f"{qt.compression_ratio:>5.1f}x {watch.elapsed:>8.3f}"
+            )
+        print()
+
+    print("== sampling profiler (auto-tuning the greedy search) ==")
+    bins = select_num_bins(tensor, bits=2, sample_fraction=0.05, seed=3)
+    ratio = select_ratio(
+        tensor, bits=2, num_bins=int(bins.chosen),
+        sample_fraction=0.05, seed=3,
+    )
+    print(
+        f"profiled {bins.sample_rows} sampled rows -> "
+        f"num_bins={bins.chosen:.0f}, ratio={ratio.chosen:.1f}"
+    )
+    tuned = make_quantizer(
+        "adaptive", bits=2, num_bins=int(bins.chosen),
+        ratio=float(ratio.chosen),
+    )
+    naive = make_quantizer("asymmetric", bits=2)
+    tuned_err = mean_l2_error(tensor, tuned.roundtrip(tensor))
+    naive_err = mean_l2_error(tensor, naive.roundtrip(tensor))
+    print(
+        f"2-bit error: naive {naive_err:.5f} -> tuned {tuned_err:.5f} "
+        f"({1 - tuned_err / naive_err:.0%} better)\n"
+    )
+
+    print("== dynamic bit-width selection (paper section 6.2.1) ==")
+    for restores in (0, 1, 3, 10, 25):
+        print(
+            f"expected restores = {restores:>3d} -> "
+            f"{select_bit_width(restores)}-bit checkpoints"
+        )
+
+
+if __name__ == "__main__":
+    main()

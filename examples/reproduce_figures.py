@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""One-command look at the paper's figure shapes (no pytest needed).
+
+Renders the fast subset of the reproduction — the failure CDF (Fig 3),
+the modified-fraction curves (Figs 5/6), the incremental-policy series
+(Figs 15/16), and the snapshot-stall table (section 6.1) — as plain
+text. The full reproduction of every figure lives in ``benchmarks/``:
+
+    pytest benchmarks/ --benchmark-only
+
+Run:  python examples/reproduce_figures.py
+"""
+
+from __future__ import annotations
+
+from repro.tools.figures import render_all
+
+
+def main() -> None:
+    print(render_all())
+
+
+if __name__ == "__main__":
+    main()

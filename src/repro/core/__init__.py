@@ -1,0 +1,85 @@
+"""Check-N-Run core: the paper's checkpointing system."""
+
+from .bitwidth import (
+    FALLBACK_BIT_WIDTH,
+    BitWidthController,
+    expected_restores,
+    select_bit_width,
+)
+from .controller import (
+    OVERLAP_CANCEL_PREVIOUS,
+    OVERLAP_SKIP_NEW,
+    CheckNRun,
+    CheckpointEvent,
+    ControllerStats,
+)
+from .coordination import ReaderCoordinator
+from .manifest import (
+    KIND_FULL,
+    KIND_INCREMENTAL,
+    CheckpointManifest,
+    ChunkRecord,
+    ShardRecord,
+)
+from .policies import (
+    CheckpointPolicy,
+    ConsecutivePolicy,
+    FullPolicy,
+    IntermittentPolicy,
+    OneShotPolicy,
+    PolicyState,
+    make_policy,
+)
+from .predictor import (
+    HistoryPredictor,
+    LinearTrendPredictor,
+    make_predictor,
+)
+from .publisher import OnlinePublisher, PublishEvent, PublisherStats
+from .restore import CheckpointRestorer, RestoreReport
+from .retention import RetentionManager, RetentionReport
+from .snapshot import ModelSnapshot, ShardSnapshot, SnapshotManager
+from .tracker import ModifiedRowTracker, TrackerSet
+from .writer import CheckpointWriter, WriteReport
+
+__all__ = [
+    "FALLBACK_BIT_WIDTH",
+    "KIND_FULL",
+    "KIND_INCREMENTAL",
+    "OVERLAP_CANCEL_PREVIOUS",
+    "OVERLAP_SKIP_NEW",
+    "BitWidthController",
+    "CheckNRun",
+    "CheckpointEvent",
+    "CheckpointManifest",
+    "CheckpointPolicy",
+    "CheckpointRestorer",
+    "CheckpointWriter",
+    "ChunkRecord",
+    "ConsecutivePolicy",
+    "ControllerStats",
+    "FullPolicy",
+    "HistoryPredictor",
+    "IntermittentPolicy",
+    "LinearTrendPredictor",
+    "ModelSnapshot",
+    "ModifiedRowTracker",
+    "OneShotPolicy",
+    "OnlinePublisher",
+    "PublishEvent",
+    "PublisherStats",
+    "PolicyState",
+    "ReaderCoordinator",
+    "RestoreReport",
+    "RetentionManager",
+    "RetentionReport",
+    "ShardRecord",
+    "ShardSnapshot",
+    "SnapshotManager",
+    "TrackerSet",
+    "WriteReport",
+    "expected_restores",
+    "make_policy",
+    "make_predictor",
+    "select_bit_width",
+]

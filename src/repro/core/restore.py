@@ -1,0 +1,295 @@
+"""Checkpoint restore: chain resolution, de-quantization, state load.
+
+Restoring follows the policy's chain (paper section 5.1): a full
+checkpoint restores alone; a one-shot/intermittent increment needs its
+baseline first; a consecutive increment needs the entire chain back to
+the last full checkpoint, applied oldest-first so later increments
+overwrite earlier rows.
+
+Every chunk is CRC-verified by the frame reader; corruption surfaces as
+:class:`CheckpointCorruptError` rather than silently wrong weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.reader import ReaderMaster
+from ..data.state import ReaderState
+from ..distributed.clock import SimClock
+from ..errors import (
+    CheckpointCorruptError,
+    CheckpointNotFoundError,
+    SerializationError,
+)
+from ..model.dlrm import DLRM
+from ..quant.base import QuantizedTensor
+from ..quant.registry import dequantize_tensor
+from ..serialize.codec import decode_array, decode_payload
+from ..serialize.format import decode_frames
+from ..storage.object_store import ObjectStore
+from .manifest import (
+    KIND_INCREMENTAL,
+    CheckpointManifest,
+    manifest_key,
+)
+from .policies import CheckpointPolicy, FullPolicy
+
+
+@dataclass
+class RestoreReport:
+    """Outcome of one restore operation."""
+
+    checkpoint_id: str
+    chain_ids: list[str]
+    bytes_read: int
+    chunks_read: int
+    rows_restored: int
+    started_at_s: float
+    finished_at_s: float
+    #: Table-global rows contained in the *target* checkpoint, keyed by
+    #: table id — used to rebuild the modified-row trackers.
+    target_rows_by_table: dict[int, np.ndarray] = field(
+        default_factory=dict
+    )
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at_s - self.started_at_s
+
+
+class CheckpointRestorer:
+    """Reads checkpoints back from the object store into live state."""
+
+    def __init__(self, store: ObjectStore, clock: SimClock) -> None:
+        self.store = store
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    # Manifest discovery
+    # ------------------------------------------------------------------
+
+    def load_manifest(
+        self, job_id: str, checkpoint_id: str
+    ) -> CheckpointManifest:
+        key = manifest_key(job_id, checkpoint_id)
+        if not self.store.exists(key):
+            raise CheckpointNotFoundError(
+                f"no manifest for checkpoint {checkpoint_id!r} of job "
+                f"{job_id!r}"
+            )
+        return CheckpointManifest.from_json(self.store.get(key))
+
+    def list_manifests(self, job_id: str) -> dict[str, CheckpointManifest]:
+        """All stored manifests of a job, keyed by checkpoint id."""
+        manifests: dict[str, CheckpointManifest] = {}
+        for key in self.store.list_keys(f"{job_id}/"):
+            if key.endswith("/manifest.json"):
+                manifest = CheckpointManifest.from_json(self.store.get(key))
+                manifests[manifest.checkpoint_id] = manifest
+        return manifests
+
+    def latest_valid(
+        self, job_id: str, at_time_s: float | None = None
+    ) -> CheckpointManifest | None:
+        """Most recent checkpoint whose write had completed by ``at_time``.
+
+        Validity is ``valid_at_s <= at_time``: a checkpoint still being
+        written when the job crashed never became valid and is skipped,
+        exactly as a missing manifest would be in the real system.
+        """
+        deadline = self.clock.now if at_time_s is None else at_time_s
+        candidates = [
+            m
+            for m in self.list_manifests(job_id).values()
+            if m.valid_at_s <= deadline
+        ]
+        if not candidates:
+            return None
+        return max(
+            candidates, key=lambda m: (m.interval_index, m.valid_at_s)
+        )
+
+    # ------------------------------------------------------------------
+    # Restore
+    # ------------------------------------------------------------------
+
+    def _decode_weights(self, payload: bytes) -> np.ndarray:
+        obj = decode_payload(payload)
+        if isinstance(obj, QuantizedTensor):
+            return dequantize_tensor(obj)
+        return obj
+
+    def _decode_accumulator(self, payload: bytes) -> np.ndarray:
+        obj = decode_payload(payload)
+        if isinstance(obj, QuantizedTensor):
+            return dequantize_tensor(obj).reshape(-1)
+        return obj.reshape(-1)
+
+    def _apply_manifest(
+        self, model: DLRM, manifest: CheckpointManifest
+    ) -> tuple[int, int, int, dict[int, list[np.ndarray]]]:
+        """Load one manifest's chunks into the model.
+
+        Returns (bytes_read, chunks_read, rows_restored, rows_by_table).
+        """
+        bytes_read = 0
+        chunks_read = 0
+        rows_restored = 0
+        rows_by_table: dict[int, list[np.ndarray]] = {}
+        for shard_record in manifest.shards:
+            for chunk in shard_record.chunks:
+                blob = self.store.get(chunk.key)
+                bytes_read += len(blob)
+                try:
+                    meta, frames = decode_frames(blob)
+                except SerializationError as exc:
+                    raise CheckpointCorruptError(
+                        f"chunk {chunk.key} failed verification: {exc}"
+                    ) from exc
+                if len(frames) != 3:
+                    raise CheckpointCorruptError(
+                        f"chunk {chunk.key} has {len(frames)} frames, "
+                        "expected rows/weights/accumulator"
+                    )
+                rows = decode_array(frames[0].payload).astype(np.int64)
+                if rows.size == 0 and int(meta.get("row_base", -1)) >= 0:
+                    # Full-checkpoint chunk: contiguous range, ids
+                    # reconstructed from (row_base, row_count).
+                    rows = np.arange(
+                        int(meta["row_base"]),
+                        int(meta["row_base"]) + int(meta["row_count"]),
+                        dtype=np.int64,
+                    )
+                weights = self._decode_weights(frames[1].payload)
+                accum = self._decode_accumulator(frames[2].payload)
+                if rows.shape[0] != chunk.row_count:
+                    raise CheckpointCorruptError(
+                        f"chunk {chunk.key} declares {chunk.row_count} "
+                        f"rows, payload holds {rows.shape[0]}"
+                    )
+                model.load_table_rows(
+                    shard_record.table_id, rows, weights, accum
+                )
+                rows_by_table.setdefault(
+                    shard_record.table_id, []
+                ).append(rows)
+                chunks_read += 1
+                rows_restored += int(rows.shape[0])
+        return bytes_read, chunks_read, rows_restored, rows_by_table
+
+    def _apply_dense(self, model: DLRM, manifest: CheckpointManifest):
+        if manifest.dense_key is None:
+            raise CheckpointCorruptError(
+                f"checkpoint {manifest.checkpoint_id} has no dense state"
+            )
+        blob = self.store.get(manifest.dense_key)
+        try:
+            _, frames = decode_frames(blob)
+            state: dict[str, np.ndarray] = {}
+            for frame in frames:
+                inner_meta, inner = decode_frames(frame.payload)
+                state[inner_meta["name"]] = decode_array(inner[0].payload)
+        except SerializationError as exc:
+            raise CheckpointCorruptError(
+                f"dense state of {manifest.checkpoint_id} is corrupt: "
+                f"{exc}"
+            ) from exc
+        model.load_dense_state(state)
+        return len(blob)
+
+    def restore(
+        self,
+        model: DLRM,
+        target: CheckpointManifest,
+        manifests: dict[str, CheckpointManifest],
+        reader: ReaderMaster | None = None,
+        policy: CheckpointPolicy | None = None,
+    ) -> RestoreReport:
+        """Restore model (and optionally reader) from ``target``.
+
+        ``manifests`` must contain every checkpoint the chain needs;
+        ``policy`` defaults to chain resolution via base-id links, which
+        is correct for all shipped policies.
+        """
+        chain_policy = policy or FullPolicy()
+        chain = chain_policy.restore_chain(target, manifests)
+        started = self.clock.now
+        bytes_read = 0
+        chunks_read = 0
+        rows_restored = 0
+        target_rows: dict[int, np.ndarray] = {}
+        for manifest in chain:  # oldest first: increments overwrite base
+            b, c, r, rows_by_table = self._apply_manifest(model, manifest)
+            bytes_read += b
+            chunks_read += c
+            rows_restored += r
+            if manifest.checkpoint_id == target.checkpoint_id:
+                target_rows = {
+                    table_id: np.unique(np.concatenate(parts))
+                    for table_id, parts in rows_by_table.items()
+                }
+        # Dense state: only the target's copy matters (stored whole).
+        bytes_read += self._apply_dense(model, target)
+
+        progress = target.trainer_progress
+        model.batches_trained = int(progress.get("batches_trained", 0))
+        model.samples_trained = int(progress.get("samples_trained", 0))
+        if reader is not None:
+            reader.restore(ReaderState.from_dict(target.reader_state))
+
+        finished = max(self.clock.now, self.store.timeline.free_at)
+        return RestoreReport(
+            checkpoint_id=target.checkpoint_id,
+            chain_ids=[m.checkpoint_id for m in chain],
+            bytes_read=bytes_read,
+            chunks_read=chunks_read,
+            rows_restored=rows_restored,
+            started_at_s=started,
+            finished_at_s=finished,
+            target_rows_by_table=target_rows,
+        )
+
+    def apply_single(
+        self, model: DLRM, manifest: CheckpointManifest
+    ) -> int:
+        """Apply one manifest's rows + dense state onto a live model.
+
+        This is the *online training* path (paper sections 1, 5.1):
+        consecutive incremental checkpoints are "directly applied to an
+        already-trained model in inference to improve its freshness" —
+        no chain walk, the increment lands on whatever the replica
+        already holds. Returns bytes read.
+        """
+        bytes_read, _, _, _ = self._apply_manifest(model, manifest)
+        bytes_read += self._apply_dense(model, manifest)
+        return bytes_read
+
+    def restore_for_transfer(
+        self,
+        model: DLRM,
+        target: CheckpointManifest,
+        manifests: dict[str, CheckpointManifest],
+        policy: CheckpointPolicy | None = None,
+    ) -> RestoreReport:
+        """Seed a *new* job from a checkpoint (transfer learning).
+
+        Paper section 4.1: checkpoints used for transfer learning "do
+        not require the reader state" — the new job trains a different
+        dataset toward a different goal. Model weights load through the
+        normal chain, but progress counters reset to zero and the
+        reader is untouched.
+        """
+        report = self.restore(
+            model, target, manifests, reader=None, policy=policy
+        )
+        model.batches_trained = 0
+        model.samples_trained = 0
+        return report
+
+    @staticmethod
+    def chain_includes_increment(chain: list[CheckpointManifest]) -> bool:
+        """Whether any link in the chain is incremental (for tests)."""
+        return any(m.kind == KIND_INCREMENTAL for m in chain)

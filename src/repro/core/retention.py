@@ -1,0 +1,90 @@
+"""Checkpoint retention: delete old checkpoints without breaking chains.
+
+"At that stage, an older checkpoint may be deleted by the controller
+(based on the system configuration). Multiple checkpoints can be stored
+depending on the needs and use cases." (paper section 4.4)
+
+Retention keeps the last ``keep_last`` checkpoints *and everything
+their restore chains reference*: deleting a one-shot baseline while an
+increment that needs it is retained would render that increment
+useless, so baselines are protected for as long as any kept increment
+points at them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CheckpointError
+from ..storage.object_store import ObjectStore
+from .manifest import CheckpointManifest, checkpoint_prefix
+from .policies import CheckpointPolicy
+
+
+@dataclass(frozen=True)
+class RetentionReport:
+    """What one retention pass deleted."""
+
+    deleted_ids: tuple[str, ...]
+    deleted_objects: int
+    freed_logical_bytes: int
+
+
+class RetentionManager:
+    """Deletes unprotected checkpoints beyond the retention window."""
+
+    def __init__(self, store: ObjectStore, keep_last: int) -> None:
+        if keep_last < 1:
+            raise CheckpointError("keep_last must be >= 1")
+        self.store = store
+        self.keep_last = keep_last
+
+    def enforce(
+        self,
+        manifests: dict[str, CheckpointManifest],
+        policy: CheckpointPolicy,
+        job_id: str,
+        now_s: float | None = None,
+    ) -> RetentionReport:
+        """Delete checkpoints not needed by the newest ``keep_last``.
+
+        Only checkpoints already *valid* at ``now_s`` count toward the
+        retention window, and in-flight (not-yet-valid) checkpoints are
+        always protected — deleting the old checkpoint before the new
+        one's last byte lands would leave a window with nothing to
+        restore from (the paper deletes "at that stage", i.e. after the
+        controller declares the new checkpoint valid, section 4.4).
+
+        Mutates ``manifests`` (removes deleted entries) and the store.
+        """
+        ordered = sorted(
+            manifests.values(),
+            key=lambda m: (m.interval_index, m.valid_at_s),
+        )
+        if now_s is None:
+            valid = ordered
+            in_flight: list[CheckpointManifest] = []
+        else:
+            valid = [m for m in ordered if m.valid_at_s <= now_s]
+            in_flight = [m for m in ordered if m.valid_at_s > now_s]
+        keep = valid[-self.keep_last :] + in_flight
+        protected = policy.protected_ids(keep, manifests)
+        deletable = [
+            m for m in ordered if m.checkpoint_id not in protected
+        ]
+        deleted_ids: list[str] = []
+        deleted_objects = 0
+        freed = 0
+        for manifest in deletable:
+            prefix = checkpoint_prefix(job_id, manifest.checkpoint_id)
+            for key in self.store.list_keys(prefix):
+                freed += self.store.object_size(key)
+                self.store.delete(key)
+                deleted_objects += 1
+            del manifests[manifest.checkpoint_id]
+            deleted_ids.append(manifest.checkpoint_id)
+        return RetentionReport(
+            deleted_ids=tuple(deleted_ids),
+            deleted_objects=deleted_objects,
+            freed_logical_bytes=freed,
+        )

@@ -1,0 +1,16 @@
+"""Data substrate: synthetic click logs, batches, the reader tier."""
+
+from .batch import Batch
+from .reader import ReaderMaster, ReaderWorker
+from .state import ReaderState, TrainerProgress
+from .synthetic import SyntheticClickDataset, ZipfianSampler
+
+__all__ = [
+    "Batch",
+    "ReaderMaster",
+    "ReaderState",
+    "ReaderWorker",
+    "SyntheticClickDataset",
+    "TrainerProgress",
+    "ZipfianSampler",
+]

@@ -1,0 +1,53 @@
+"""The training batch value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReaderError
+
+
+@dataclass
+class Batch:
+    """One batch of training samples.
+
+    Attributes:
+        dense: (batch, num_dense_features) fp32 features.
+        sparse: per-table (batch, hotness) int64 index matrices.
+        labels: (batch,) float32 binary click labels.
+        batch_index: global position in the dataset's batch sequence —
+            the unit the reader state is expressed in.
+    """
+
+    dense: np.ndarray
+    sparse: list[np.ndarray]
+    labels: np.ndarray
+    batch_index: int
+
+    def __post_init__(self) -> None:
+        if self.dense.ndim != 2:
+            raise ReaderError(
+                f"dense features must be 2-D, got shape {self.dense.shape}"
+            )
+        batch = self.dense.shape[0]
+        if self.labels.shape != (batch,):
+            raise ReaderError(
+                f"labels shape {self.labels.shape} != ({batch},)"
+            )
+        for i, idx in enumerate(self.sparse):
+            if idx.ndim != 2 or idx.shape[0] != batch:
+                raise ReaderError(
+                    f"sparse[{i}] must be (batch, hotness), got {idx.shape}"
+                )
+        if self.batch_index < 0:
+            raise ReaderError(f"negative batch_index {self.batch_index}")
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.dense.shape[0])
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.sparse)

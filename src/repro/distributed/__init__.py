@@ -1,0 +1,47 @@
+"""Simulated training cluster: clock, topology, sharding, collectives."""
+
+from .clock import SimClock, Stopwatch, Timeline, TimeSpan
+from .comm import (
+    CommLog,
+    Fabric,
+    HierarchicalFabric,
+    allreduce_time,
+    alltoall_time,
+    hierarchical_allreduce_time,
+    hierarchical_alltoall_time,
+)
+from .sharding import (
+    Shard,
+    ShardingPlan,
+    plan_auto,
+    plan_row_wise,
+    plan_table_wise,
+)
+from .topology import DeviceId, SimCluster, SimDevice, SimNode
+from .trainer import IntervalReport, SimTrainer, StepTiming
+
+__all__ = [
+    "CommLog",
+    "DeviceId",
+    "Fabric",
+    "HierarchicalFabric",
+    "IntervalReport",
+    "Shard",
+    "ShardingPlan",
+    "SimClock",
+    "SimCluster",
+    "SimDevice",
+    "SimNode",
+    "SimTrainer",
+    "StepTiming",
+    "Stopwatch",
+    "TimeSpan",
+    "Timeline",
+    "allreduce_time",
+    "alltoall_time",
+    "hierarchical_allreduce_time",
+    "hierarchical_alltoall_time",
+    "plan_auto",
+    "plan_row_wise",
+    "plan_table_wise",
+]

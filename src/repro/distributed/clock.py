@@ -1,0 +1,182 @@
+"""Simulated time for the training/checkpointing pipeline.
+
+The paper's measurements (snapshot stall, write latency, interval lengths)
+are all wall-clock quantities on Meta's clusters. We reproduce the *timing
+structure* with a shared :class:`SimClock`: the trainer advances it with
+compute/communication/stall durations, while background activities (the
+checkpoint writer, the object store) occupy parallel *timelines* whose
+completion times gate events such as checkpoint validity.
+
+Nothing here sleeps; simulated seconds are plain floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class TimeSpan:
+    """A named, closed interval of simulated time."""
+
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SimClock:
+    """A monotonically advancing simulated clock with span accounting.
+
+    Components share one instance. ``advance`` moves time forward (the
+    trainer's compute, stalls); ``record`` tags the elapsed span with a
+    label so accountants can later attribute simulated time (e.g. what
+    fraction of training time went to snapshot stalls, paper section 6.1).
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._spans: list[TimeSpan] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, duration: float, label: str = "unlabelled") -> float:
+        """Advance the clock by ``duration`` seconds and return the new time.
+
+        Raises :class:`SimulationError` on negative durations: simulated
+        time never flows backwards.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"cannot advance clock by negative duration {duration!r}"
+            )
+        start = self._now
+        self._now += duration
+        self._spans.append(TimeSpan(label, start, self._now))
+        return self._now
+
+    def advance_to(self, timestamp: float, label: str = "wait") -> float:
+        """Advance to an absolute timestamp (no-op if already past it)."""
+        if timestamp > self._now:
+            self.advance(timestamp - self._now, label)
+        return self._now
+
+    def spans(self, label: str | None = None) -> list[TimeSpan]:
+        """All recorded spans, optionally filtered by label."""
+        if label is None:
+            return list(self._spans)
+        return [s for s in self._spans if s.label == label]
+
+    def total(self, label: str) -> float:
+        """Total simulated seconds attributed to ``label``."""
+        return sum(s.duration for s in self._spans if s.label == label)
+
+    def fraction(self, label: str) -> float:
+        """Fraction of all elapsed time attributed to ``label``."""
+        if self._now == 0.0:
+            return 0.0
+        return self.total(label) / self._now
+
+
+class Timeline:
+    """A background activity lane tied to a :class:`SimClock`.
+
+    Models a resource that processes work serially in the background (the
+    checkpoint writer's CPU processes, the storage link): work submitted at
+    time ``t`` starts at ``max(t, free_at)`` and finishes ``duration``
+    later. The trainer's clock is *not* advanced — that is the decoupling
+    the paper builds (section 4.2).
+    """
+
+    def __init__(self, clock: SimClock, name: str) -> None:
+        self._clock = clock
+        self.name = name
+        self._free_at = clock.now
+        self._log: list[TimeSpan] = []
+
+    @property
+    def free_at(self) -> float:
+        """Earliest simulated time at which new work could start."""
+        return self._free_at
+
+    def busy_at(self, timestamp: float) -> bool:
+        """Whether the lane is still occupied at ``timestamp``."""
+        return self._free_at > timestamp
+
+    def submit(
+        self,
+        duration: float,
+        label: str = "work",
+        earliest: float | None = None,
+    ) -> TimeSpan:
+        """Occupy the lane for ``duration`` seconds; returns the span.
+
+        The span starts when the lane frees up (or now, if idle).
+        ``earliest`` defers the start further — used by the pipelined
+        checkpoint writer, where a chunk's store cannot begin before its
+        quantization finished on the CPU lane.
+        """
+        if duration < 0:
+            raise SimulationError(
+                f"cannot submit negative-duration work {duration!r}"
+            )
+        start = max(self._clock.now, self._free_at, earliest or 0.0)
+        span = TimeSpan(label, start, start + duration)
+        self._free_at = span.end
+        self._log.append(span)
+        return span
+
+    def release(self) -> None:
+        """Free the lane immediately (cancelling queued occupancy).
+
+        Used when an in-flight checkpoint write is cancelled: the link
+        time already spent is sunk, but no further occupancy blocks the
+        next checkpoint.
+        """
+        self._free_at = min(self._free_at, self._clock.now)
+
+    def log(self) -> list[TimeSpan]:
+        """All spans processed by this lane, in submission order."""
+        return list(self._log)
+
+    def utilization(self) -> float:
+        """Busy fraction between the first span start and the lane's end."""
+        if not self._log:
+            return 0.0
+        horizon = self._free_at - self._log[0].start
+        if horizon <= 0:
+            return 0.0
+        busy = sum(s.duration for s in self._log)
+        return busy / horizon
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates *real* wall-clock durations (for latency benches).
+
+    Used where the paper reports measured latencies (Figs 12/13): the
+    quantizers run for real in numpy, and the bench reports both measured
+    seconds and model-projected seconds at paper scale.
+    """
+
+    elapsed: float = 0.0
+    _starts: list[float] = field(default_factory=list)
+
+    def __enter__(self) -> "Stopwatch":
+        import time
+
+        self._starts.append(time.perf_counter())
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        import time
+
+        self.elapsed += time.perf_counter() - self._starts.pop()

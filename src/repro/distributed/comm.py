@@ -1,0 +1,156 @@
+"""Collective-communication cost models for the simulated fabric.
+
+Synchronous DLRM training performs two collectives per iteration
+(paper section 2.2):
+
+* **AllReduce** over the data-parallel MLP gradients (backward pass);
+* **AlltoAll** over the model-parallel embedding activations, once in
+  the forward pass (looked-up vectors) and once in the backward pass
+  (vector gradients).
+
+We use the standard bandwidth-latency (alpha-beta) cost models: ring
+AllReduce moves ``2 (w-1)/w`` of the buffer per participant; AlltoAll
+moves ``(w-1)/w`` of each participant's send buffer. The absolute
+constants come from :class:`~repro.config.ClusterConfig`; what matters
+downstream is that the AlltoAll phase has idle cycles in which the
+paper hides the tracking work (section 5.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """Per-link bandwidth (bytes/s) and per-step latency (s)."""
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise SimulationError("fabric bandwidth must be positive")
+        if self.latency < 0:
+            raise SimulationError("fabric latency must be >= 0")
+
+
+def allreduce_time(nbytes: int, world: int, fabric: Fabric) -> float:
+    """Ring AllReduce wall time for a buffer of ``nbytes`` per rank."""
+    if nbytes < 0:
+        raise SimulationError(f"negative buffer size {nbytes}")
+    if world < 1:
+        raise SimulationError(f"world size must be >= 1, got {world}")
+    if world == 1:
+        return 0.0
+    steps = 2 * (world - 1)
+    moved = 2.0 * (world - 1) / world * nbytes
+    return steps * fabric.latency + moved / fabric.bandwidth
+
+
+def alltoall_time(nbytes_per_rank: int, world: int, fabric: Fabric) -> float:
+    """AlltoAll wall time when each rank exchanges ``nbytes_per_rank``."""
+    if nbytes_per_rank < 0:
+        raise SimulationError(f"negative buffer size {nbytes_per_rank}")
+    if world < 1:
+        raise SimulationError(f"world size must be >= 1, got {world}")
+    if world == 1:
+        return 0.0
+    moved = (world - 1) / world * nbytes_per_rank
+    return (world - 1) * fabric.latency + moved / fabric.bandwidth
+
+
+@dataclass(frozen=True)
+class HierarchicalFabric:
+    """Two-level fabric: fast intra-node links, slower inter-node.
+
+    The paper's clusters pair NVSwitch/NVLink inside a node with a
+    scale-out fabric across nodes (section 6). Collectives then run
+    hierarchically: reduce/exchange inside each node over the fast
+    links, cross nodes over the slow ones, and broadcast back.
+    """
+
+    intra: Fabric
+    inter: Fabric
+    devices_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.devices_per_node < 1:
+            raise SimulationError("devices_per_node must be >= 1")
+
+
+def hierarchical_allreduce_time(
+    nbytes: int, num_nodes: int, fabric: HierarchicalFabric
+) -> float:
+    """Reduce-scatter intra-node, ring across nodes, broadcast back.
+
+    Intra-node phases move the full buffer over NVLink-class links;
+    the inter-node ring only carries one device's share per node.
+    """
+    if nbytes < 0:
+        raise SimulationError(f"negative buffer size {nbytes}")
+    if num_nodes < 1:
+        raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
+    local = allreduce_time(nbytes, fabric.devices_per_node, fabric.intra)
+    cross = allreduce_time(nbytes, num_nodes, fabric.inter)
+    return local + cross
+
+
+def hierarchical_alltoall_time(
+    nbytes_per_rank: int, num_nodes: int, fabric: HierarchicalFabric
+) -> float:
+    """AlltoAll with node-local aggregation before the slow hop.
+
+    Each rank's traffic splits: the fraction destined for same-node
+    peers ((d-1)/world) crosses only the fast fabric; the rest crosses
+    the inter-node links.
+    """
+    if nbytes_per_rank < 0:
+        raise SimulationError(f"negative buffer size {nbytes_per_rank}")
+    if num_nodes < 1:
+        raise SimulationError(f"num_nodes must be >= 1, got {num_nodes}")
+    world = num_nodes * fabric.devices_per_node
+    if world == 1:
+        return 0.0
+    same_node_share = (fabric.devices_per_node - 1) / max(world - 1, 1)
+    local_bytes = int(nbytes_per_rank * same_node_share)
+    cross_bytes = nbytes_per_rank - local_bytes
+    local = alltoall_time(
+        local_bytes, fabric.devices_per_node, fabric.intra
+    )
+    cross = alltoall_time(cross_bytes, num_nodes, fabric.inter)
+    return local + cross
+
+
+@dataclass
+class CommEvent:
+    """One recorded collective operation."""
+
+    kind: str
+    nbytes: int
+    world: int
+    duration_s: float
+
+
+@dataclass
+class CommLog:
+    """Accumulates collective operations for per-step accounting."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    def record(self, kind: str, nbytes: int, world: int, duration: float):
+        self.events.append(CommEvent(kind, nbytes, world, duration))
+
+    def total_time(self, kind: str | None = None) -> float:
+        return sum(
+            e.duration_s
+            for e in self.events
+            if kind is None or e.kind == kind
+        )
+
+    def total_bytes(self, kind: str | None = None) -> int:
+        return sum(
+            e.nbytes for e in self.events if kind is None or e.kind == kind
+        )

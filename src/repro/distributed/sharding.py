@@ -1,0 +1,259 @@
+"""Embedding-table sharding across the simulated cluster.
+
+DLRM's embedding tables do not fit on one device, so they are placed
+model-parallel (paper section 2.1). Two planners are provided:
+
+* **table-wise** — each table lives wholly on one device; devices are
+  filled greedily, largest table first, onto the least-loaded device.
+* **row-wise** — every table is split into near-equal row ranges across
+  all devices; used when single tables exceed one device's HBM.
+
+``plan_auto`` mixes the two: tables that fit go table-wise, oversized
+tables are row-split. Every shard records its (table, row range, device)
+triple; the tracker, the snapshot and the checkpoint writer all operate
+per shard, exactly as each GPU checkpoints "its own local part of the
+model" in the paper.
+
+Shard byte accounting includes the row-wise Adagrad accumulator (4 bytes
+per row) because the optimizer state is checkpointed too (section 4.1).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..config import ModelConfig
+from ..errors import ShardingError
+from .topology import DeviceId, SimCluster
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous row range of one table placed on one device."""
+
+    shard_id: int
+    table_id: int
+    row_start: int
+    row_end: int  # exclusive
+    device_id: DeviceId
+    embedding_dim: int
+
+    def __post_init__(self) -> None:
+        if self.row_start < 0 or self.row_end <= self.row_start:
+            raise ShardingError(
+                f"invalid shard row range [{self.row_start}, {self.row_end})"
+            )
+
+    @property
+    def rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def weight_bytes(self) -> int:
+        """fp32 weight bytes for this shard."""
+        return self.rows * self.embedding_dim * 4
+
+    @property
+    def state_bytes(self) -> int:
+        """Weight + row-wise Adagrad accumulator bytes."""
+        return self.weight_bytes + self.rows * 4
+
+
+class ShardingPlan:
+    """An immutable placement of every embedding row onto devices."""
+
+    def __init__(self, shards: list[Shard], model_config: ModelConfig):
+        self.shards = tuple(shards)
+        self.model_config = model_config
+        self._validate_coverage()
+
+    def _validate_coverage(self) -> None:
+        """Every row of every table must be covered exactly once."""
+        for table_id, rows in enumerate(self.model_config.rows_per_table):
+            ranges = sorted(
+                (s.row_start, s.row_end)
+                for s in self.shards
+                if s.table_id == table_id
+            )
+            if not ranges:
+                raise ShardingError(f"table {table_id} has no shards")
+            if ranges[0][0] != 0 or ranges[-1][1] != rows:
+                raise ShardingError(
+                    f"table {table_id} shards cover "
+                    f"[{ranges[0][0]}, {ranges[-1][1]}), expected [0, {rows})"
+                )
+            for (_, prev_end), (start, _) in zip(ranges, ranges[1:]):
+                if start != prev_end:
+                    raise ShardingError(
+                        f"table {table_id} shards gap/overlap at row {start}"
+                    )
+
+    def shards_for_table(self, table_id: int) -> list[Shard]:
+        return [s for s in self.shards if s.table_id == table_id]
+
+    def shards_on_device(self, device_id: DeviceId) -> list[Shard]:
+        return [s for s in self.shards if s.device_id == device_id]
+
+    def shards_on_node(self, node: int) -> list[Shard]:
+        return [s for s in self.shards if s.device_id.node == node]
+
+    def node_state_bytes(self, node: int) -> int:
+        """Checkpointable embedding bytes resident on one node's GPUs."""
+        return sum(s.state_bytes for s in self.shards_on_node(node))
+
+    @property
+    def total_state_bytes(self) -> int:
+        return sum(s.state_bytes for s in self.shards)
+
+    def apply_to(self, cluster: SimCluster) -> None:
+        """Reserve HBM for every shard; fails if the plan does not fit."""
+        for shard in self.shards:
+            cluster.device(shard.device_id).allocate(
+                shard.state_bytes,
+                what=f"shard {shard.shard_id} (table {shard.table_id})",
+            )
+
+
+def _interleaved_devices(cluster: SimCluster):
+    """Devices ordered slot-major: one per node before any second.
+
+    Equal-load ties then spread tables across *nodes*, which matters
+    because the snapshot stall is the max over per-node copy times —
+    state concentrated on one node would serialise the copy.
+    """
+    return sorted(
+        cluster.all_devices(),
+        key=lambda d: (d.device_id.slot, d.device_id.node),
+    )
+
+
+def plan_table_wise(
+    model_config: ModelConfig, cluster: SimCluster
+) -> ShardingPlan:
+    """Whole tables on single devices, greedy largest-first balancing."""
+    dim = model_config.embedding_dim
+    # (current load, tie-breaker, device) min-heap.
+    heap = [
+        (0, i, device)
+        for i, device in enumerate(_interleaved_devices(cluster))
+    ]
+    heapq.heapify(heap)
+    order = sorted(
+        range(model_config.num_tables),
+        key=lambda t: model_config.rows_per_table[t],
+        reverse=True,
+    )
+    shards: list[Shard] = []
+    for shard_id, table_id in enumerate(order):
+        rows = model_config.rows_per_table[table_id]
+        load, tie, device = heapq.heappop(heap)
+        shard = Shard(
+            shard_id=shard_id,
+            table_id=table_id,
+            row_start=0,
+            row_end=rows,
+            device_id=device.device_id,
+            embedding_dim=dim,
+        )
+        if shard.state_bytes > device.hbm_bytes:
+            raise ShardingError(
+                f"table {table_id} ({shard.state_bytes} bytes) exceeds a "
+                f"single device's HBM ({device.hbm_bytes}); use row-wise "
+                "sharding"
+            )
+        shards.append(shard)
+        heapq.heappush(heap, (load + shard.state_bytes, tie, device))
+    return ShardingPlan(shards, model_config)
+
+
+def plan_row_wise(
+    model_config: ModelConfig, cluster: SimCluster
+) -> ShardingPlan:
+    """Split every table into near-equal row ranges across all devices."""
+    dim = model_config.embedding_dim
+    devices = cluster.all_devices()
+    world = len(devices)
+    shards: list[Shard] = []
+    shard_id = 0
+    for table_id, rows in enumerate(model_config.rows_per_table):
+        # Spread remainder rows over the first (rows % world) devices.
+        base, extra = divmod(rows, world)
+        start = 0
+        for rank, device in enumerate(devices):
+            count = base + (1 if rank < extra else 0)
+            if count == 0:
+                continue
+            shards.append(
+                Shard(
+                    shard_id=shard_id,
+                    table_id=table_id,
+                    row_start=start,
+                    row_end=start + count,
+                    device_id=device.device_id,
+                    embedding_dim=dim,
+                )
+            )
+            shard_id += 1
+            start += count
+    return ShardingPlan(shards, model_config)
+
+
+def plan_auto(
+    model_config: ModelConfig, cluster: SimCluster
+) -> ShardingPlan:
+    """Table-wise where tables fit on one device, row-wise otherwise."""
+    hbm = cluster.config.hbm_bytes_per_device
+    dim = model_config.embedding_dim
+    per_row_bytes = dim * 4 + 4
+    oversized = [
+        t
+        for t, rows in enumerate(model_config.rows_per_table)
+        if rows * per_row_bytes > hbm
+    ]
+    if not oversized:
+        return plan_table_wise(model_config, cluster)
+    devices = cluster.all_devices()
+    world = len(devices)
+    shards: list[Shard] = []
+    shard_id = 0
+    # Oversized tables: row-wise across all devices.
+    for table_id in oversized:
+        rows = model_config.rows_per_table[table_id]
+        base, extra = divmod(rows, world)
+        start = 0
+        for rank, device in enumerate(devices):
+            count = base + (1 if rank < extra else 0)
+            if count == 0:
+                continue
+            shards.append(
+                Shard(
+                    shard_id, table_id, start, start + count,
+                    device.device_id, dim,
+                )
+            )
+            shard_id += 1
+            start += count
+    # Remaining tables: greedy table-wise onto least-loaded devices,
+    # accounting for the row-wise load already placed.
+    load = {d.device_id: 0 for d in devices}
+    for s in shards:
+        load[s.device_id] += s.state_bytes
+    heap = [
+        (load[d.device_id], i, d)
+        for i, d in enumerate(_interleaved_devices(cluster))
+    ]
+    heapq.heapify(heap)
+    rest = sorted(
+        (t for t in range(model_config.num_tables) if t not in oversized),
+        key=lambda t: model_config.rows_per_table[t],
+        reverse=True,
+    )
+    for table_id in rest:
+        rows = model_config.rows_per_table[table_id]
+        current, tie, device = heapq.heappop(heap)
+        shard = Shard(shard_id, table_id, 0, rows, device.device_id, dim)
+        shards.append(shard)
+        shard_id += 1
+        heapq.heappush(heap, (current + shard.state_bytes, tie, device))
+    return ShardingPlan(shards, model_config)

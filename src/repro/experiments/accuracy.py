@@ -1,0 +1,168 @@
+"""Fig 14: lifetime accuracy degradation from quantized restores.
+
+Design notes (full rationale in EXPERIMENTS.md):
+
+* Training quality is tracked by **progressive validation** — each
+  batch's loss is measured before the model trains on it, and the
+  *lifetime* metric is the cumulative progressive loss, exactly the
+  "training lifetime accuracy" a production CTR trainer monitors.
+* The baseline and each variant train over **identical batch streams**
+  (paired comparison); the variant's embedding tables pass through a
+  quantize/de-quantize round trip at each restore point, which is
+  precisely what resuming from a quantized checkpoint does (training
+  itself always runs fp32, per the paper).
+* Labels are **sparse-dominated** (``sparse_signal_scale`` >
+  ``dense_signal_scale``) so that embeddings carry the signal being
+  damaged, matching production CTR models; tables are small enough
+  that rows are genuinely trained at laptop scale.
+* Results are averaged over several seeds: one quantization event is a
+  single random-ish perturbation whose first-order effect on loss has
+  arbitrary sign; the paper's systematic second-order damage emerges in
+  the mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import DataConfig, ModelConfig
+from ..data.synthetic import SyntheticClickDataset
+from ..errors import SimulationError
+from ..model.dlrm import DLRM
+from ..quant.registry import make_quantizer
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """Mean degradation after a number of trained batches."""
+
+    batches_trained: int
+    degradation_pct: float
+
+
+@dataclass(frozen=True)
+class DegradationCurve:
+    """One line of a Fig 14 panel (seed-averaged)."""
+
+    bits: int
+    num_restores: int
+    points: tuple[DegradationPoint, ...]
+
+    @property
+    def final_degradation_pct(self) -> float:
+        return self.points[-1].degradation_pct
+
+
+def _default_model_config() -> ModelConfig:
+    return ModelConfig(
+        num_tables=4,
+        rows_per_table=(512,) * 4,
+        embedding_dim=16,
+        bottom_mlp=(32, 16),
+        top_mlp=(32, 1),
+        hotness=4,
+        seed=77,
+    )
+
+
+def _default_data_config(seed: int) -> DataConfig:
+    return DataConfig(
+        batch_size=256,
+        seed=seed,
+        dense_signal_scale=0.3,
+        sparse_signal_scale=1.5,
+    )
+
+
+def _apply_quantized_restore(model: DLRM, bits: int, num_bins: int):
+    quantizer = make_quantizer("adaptive", bits=bits, num_bins=num_bins)
+    for table_id in range(model.num_tables):
+        weight = model.table_weight(table_id)
+        weight[:] = quantizer.dequantize(quantizer.quantize(weight))
+
+
+def _cumulative_progressive_loss(
+    model_config: ModelConfig,
+    dataset: SyntheticClickDataset,
+    total_batches: int,
+    restore_points: set[int],
+    bits: int | None,
+    adaptive_bins: int,
+) -> np.ndarray:
+    """Cumulative per-batch (pre-update) loss series of one run."""
+    model = DLRM(model_config)
+    series = np.empty(total_batches, dtype=np.float64)
+    cumulative = 0.0
+    for batch_index in range(total_batches):
+        result = model.train_step(dataset.batch(batch_index))
+        cumulative += result.loss
+        series[batch_index] = cumulative
+        if bits is not None and (batch_index + 1) in restore_points:
+            _apply_quantized_restore(model, bits, adaptive_bins)
+    return series
+
+
+#: Baseline series cache: (config fingerprint, seed) -> series.
+_BASELINE_CACHE: dict[tuple, np.ndarray] = {}
+
+
+def accuracy_degradation_experiment(
+    bits: int,
+    restore_counts: tuple[int, ...],
+    total_batches: int = 300,
+    grid_every: int = 60,
+    seeds: tuple[int, ...] = (78, 79, 80),
+    model_config: ModelConfig | None = None,
+    adaptive_bins: int = 25,
+) -> list[DegradationCurve]:
+    """Fig 14 panel for one bit width; one curve per restore count."""
+    if total_batches < 1:
+        raise SimulationError("need at least one training batch")
+    if not seeds:
+        raise SimulationError("need at least one seed")
+    model_config = model_config or _default_model_config()
+
+    baselines: dict[int, np.ndarray] = {}
+    datasets: dict[int, SyntheticClickDataset] = {}
+    for seed in seeds:
+        datasets[seed] = SyntheticClickDataset(
+            model_config, _default_data_config(seed)
+        )
+        key = (model_config.seed, model_config.rows_per_table,
+               total_batches, seed)
+        if key not in _BASELINE_CACHE:
+            _BASELINE_CACHE[key] = _cumulative_progressive_loss(
+                model_config, datasets[seed], total_batches, set(),
+                None, adaptive_bins,
+            )
+        baselines[seed] = _BASELINE_CACHE[key]
+
+    grid = list(range(grid_every - 1, total_batches, grid_every))
+    curves = []
+    for num_restores in restore_counts:
+        restore_points = {
+            int(round((i + 1) * total_batches / (num_restores + 1)))
+            for i in range(num_restores)
+        }
+        per_seed = []
+        for seed in seeds:
+            variant = _cumulative_progressive_loss(
+                model_config, datasets[seed], total_batches,
+                restore_points, bits, adaptive_bins,
+            )
+            base = baselines[seed]
+            per_seed.append(100.0 * (variant - base) / base)
+        mean_series = np.mean(per_seed, axis=0)
+        curves.append(
+            DegradationCurve(
+                bits=bits,
+                num_restores=num_restores,
+                points=tuple(
+                    DegradationPoint(g + 1, float(mean_series[g]))
+                    for g in grid
+                ),
+            )
+        )
+    return curves

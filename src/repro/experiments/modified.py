@@ -1,0 +1,122 @@
+"""Modified-fraction experiments (paper Figs 5 and 6).
+
+Fig 5 plots the fraction of the model modified as a function of training
+samples, observed from three different starting points; Fig 6 plots the
+fraction modified within fixed-length intervals. Both are driven purely
+by the categorical access distribution, so the driver samples Zipfian
+lookups directly (no gradient math needed) and marks bit-vectors exactly
+the way the production tracker does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.synthetic import ZipfianSampler
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ModifiedFractionCurve:
+    """One observation window of Fig 5."""
+
+    start_step: int
+    steps: tuple[int, ...]  # cumulative samples at each measurement
+    fractions: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class IntervalModifiedResult:
+    """Fig 6: modified fraction per interval length."""
+
+    interval_steps: int
+    fractions: tuple[float, ...]  # one per measured interval
+
+    @property
+    def mean_fraction(self) -> float:
+        return float(np.mean(self.fractions))
+
+
+def modified_fraction_experiment(
+    rows: int = 200_000,
+    alpha: float = 1.05,
+    lookups_per_step: int = 20_000,
+    total_steps: int = 60,
+    starts: tuple[int, ...] = (0, 20, 40),
+    seed: int = 31,
+) -> list[ModifiedFractionCurve]:
+    """Fig 5: touched fraction versus samples from several start points.
+
+    One "step" stands for a fixed wall-clock slice of training (the
+    paper's x-axis unit is billions of samples; ours is
+    ``lookups_per_step`` Zipf draws).
+    """
+    if total_steps < 1 or lookups_per_step < 1:
+        raise SimulationError("steps and lookups must be positive")
+    if any(s < 0 or s >= total_steps for s in starts):
+        raise SimulationError("observation starts must fall inside the run")
+    sampler = ZipfianSampler(rows, alpha, seed)
+    rng = np.random.default_rng(seed ^ 0x55AA)
+    masks = {start: np.zeros(rows, dtype=bool) for start in starts}
+    curves: dict[int, list[tuple[int, float]]] = {s: [] for s in starts}
+    for step in range(total_steps):
+        draws = sampler.sample((lookups_per_step,), rng)
+        for start, mask in masks.items():
+            if step >= start:
+                mask[draws] = True
+                curves[start].append(
+                    (
+                        (step - start + 1) * lookups_per_step,
+                        float(mask.sum()) / rows,
+                    )
+                )
+    return [
+        ModifiedFractionCurve(
+            start_step=start,
+            steps=tuple(s for s, _ in curves[start]),
+            fractions=tuple(f for _, f in curves[start]),
+        )
+        for start in starts
+    ]
+
+
+def interval_modified_experiment(
+    rows: int = 200_000,
+    alpha: float = 1.05,
+    lookups_per_minute: int = 4_000,
+    total_minutes: int = 360,
+    interval_minutes: tuple[int, ...] = (10, 20, 30, 60),
+    seed: int = 32,
+) -> list[IntervalModifiedResult]:
+    """Fig 6: fraction modified within each interval of a given length.
+
+    For every interval length L, the run is cut into consecutive
+    L-minute windows; the tracker resets at each window start, and the
+    fraction marked at the window end is recorded. The paper's
+    observation is that this fraction is almost constant across windows
+    of equal length.
+    """
+    if total_minutes < max(interval_minutes):
+        raise SimulationError("run shorter than the longest interval")
+    sampler = ZipfianSampler(rows, alpha, seed)
+    rng = np.random.default_rng(seed ^ 0x33CC)
+    per_minute_draws = [
+        sampler.sample((lookups_per_minute,), rng)
+        for _ in range(total_minutes)
+    ]
+    results = []
+    for length in interval_minutes:
+        fractions = []
+        for window_start in range(0, total_minutes - length + 1, length):
+            mask = np.zeros(rows, dtype=bool)
+            for minute in range(window_start, window_start + length):
+                mask[per_minute_draws[minute]] = True
+            fractions.append(float(mask.sum()) / rows)
+        results.append(
+            IntervalModifiedResult(
+                interval_steps=length, fractions=tuple(fractions)
+            )
+        )
+    return results

@@ -1,0 +1,115 @@
+"""Quantization-error experiments (paper Figs 9, 10, 11).
+
+All three figures evaluate quantizers on "one representative checkpoint
+created after training a production dataset"; our stand-in is
+:func:`~repro.experiments.common.trained_embedding_matrix` — rows from a
+genuinely trained numpy DLRM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quant.adaptive import greedy_range_search
+from ..quant.error import mean_l2_error
+from ..quant.registry import make_quantizer
+from ..quant.uniform import quantization_l2_per_row
+
+
+@dataclass(frozen=True)
+class QuantErrorRow:
+    """One (method, bit-width) bar of Fig 9."""
+
+    method: str
+    bits: int
+    mean_l2: float
+
+
+def quant_error_comparison(
+    tensor: np.ndarray,
+    bit_widths: tuple[int, ...] = (2, 3, 4, 8),
+    kmeans_iterations: int = 15,
+    adaptive_bins: int = 25,
+    seed: int = 5,
+) -> list[QuantErrorRow]:
+    """Fig 9: mean l2 error of all four approaches per bit width."""
+    rows: list[QuantErrorRow] = []
+    for bits in bit_widths:
+        for method in ("symmetric", "asymmetric", "kmeans", "adaptive"):
+            quantizer = make_quantizer(
+                method,
+                bits=bits,
+                num_bins=adaptive_bins,
+                ratio=1.0,
+                kmeans_iterations=kmeans_iterations,
+                seed=seed,
+            )
+            recon = quantizer.dequantize(quantizer.quantize(tensor))
+            rows.append(
+                QuantErrorRow(method, bits, mean_l2_error(tensor, recon))
+            )
+    return rows
+
+
+def _naive_error(tensor: np.ndarray, bits: int) -> float:
+    xmin = tensor.min(axis=1).astype(np.float32)
+    xmax = tensor.max(axis=1).astype(np.float32)
+    return float(
+        np.mean(quantization_l2_per_row(tensor, xmin, xmax, bits))
+    )
+
+
+@dataclass(frozen=True)
+class ImprovementPoint:
+    """One point of Figs 10/11: adaptive improvement over naive."""
+
+    bits: int
+    parameter: float  # num_bins or ratio
+    improvement: float  # fractional l2-error reduction
+
+
+def adaptive_bins_sweep(
+    tensor: np.ndarray,
+    bit_widths: tuple[int, ...] = (2, 3, 4),
+    bins_values: tuple[int, ...] = (5, 10, 15, 20, 25, 30, 35, 40, 45, 50),
+) -> list[ImprovementPoint]:
+    """Fig 10: improvement versus num_bins at ratio = 1."""
+    points = []
+    for bits in bit_widths:
+        naive = _naive_error(tensor, bits)
+        for bins in bins_values:
+            result = greedy_range_search(tensor, bits, bins, 1.0)
+            err = float(np.mean(result.errors))
+            gain = (naive - err) / naive if naive > 0 else 0.0
+            points.append(ImprovementPoint(bits, float(bins), gain))
+    return points
+
+
+def optimal_bins(
+    points: list[ImprovementPoint], bits: int
+) -> int:
+    """The bins value with the best improvement for a bit width."""
+    candidates = [p for p in points if p.bits == bits]
+    best = max(candidates, key=lambda p: p.improvement)
+    return int(best.parameter)
+
+
+def adaptive_ratio_sweep(
+    tensor: np.ndarray,
+    bins_per_width: dict[int, int],
+    ratios: tuple[float, ...] = (
+        0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+    ),
+) -> list[ImprovementPoint]:
+    """Fig 11: improvement versus ratio at each width's optimal bins."""
+    points = []
+    for bits, bins in sorted(bins_per_width.items()):
+        naive = _naive_error(tensor, bits)
+        for ratio in ratios:
+            result = greedy_range_search(tensor, bits, bins, ratio)
+            err = float(np.mean(result.errors))
+            gain = (naive - err) / naive if naive > 0 else 0.0
+            points.append(ImprovementPoint(bits, ratio, gain))
+    return points

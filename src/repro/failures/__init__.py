@@ -1,0 +1,35 @@
+"""Failure models, traces, injection, and the fleet scheduler."""
+
+from .injector import FailureEvent, FailureInjector, FailureRunReport
+from .models import (
+    HOUR_S,
+    ExponentialFailures,
+    FailureModel,
+    LogNormalFailures,
+    MixtureFailures,
+    ScheduledFailures,
+    WeibullFailures,
+    paper_failure_model,
+)
+from .scheduler import FleetReport, FleetScheduler, Job, make_job_batch
+from .traces import CdfPoint, FailureTrace
+
+__all__ = [
+    "HOUR_S",
+    "CdfPoint",
+    "ExponentialFailures",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureModel",
+    "FailureRunReport",
+    "FailureTrace",
+    "FleetReport",
+    "FleetScheduler",
+    "Job",
+    "LogNormalFailures",
+    "MixtureFailures",
+    "ScheduledFailures",
+    "WeibullFailures",
+    "make_job_batch",
+    "paper_failure_model",
+]

@@ -1,0 +1,68 @@
+"""Synthetic model-size growth trace (paper Fig 4).
+
+The paper's Fig 4 shows the (confidential, normalised) recommendation
+model size growing more than 3x over two years. We generate a
+deterministic trace with the same normalisation and headline factor: a
+compounding monthly growth rate with small seeded month-to-month
+jitter, normalised to 1.0 at month 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class GrowthPoint:
+    """Normalised model size at one month."""
+
+    month: int
+    relative_size: float
+
+
+def model_growth_trace(
+    months: int = 24,
+    total_growth: float = 3.2,
+    jitter: float = 0.02,
+    seed: int = 7,
+) -> list[GrowthPoint]:
+    """Monotone, compounding growth reaching ``total_growth`` x.
+
+    Args:
+        months: trace length (the paper shows ~2 years).
+        total_growth: size multiple at the final month (paper: > 3x).
+        jitter: relative month-to-month noise (kept monotone).
+        seed: jitter seed.
+    """
+    if months < 1:
+        raise SimulationError("need at least one month")
+    if total_growth <= 1.0:
+        raise SimulationError("total_growth must exceed 1.0")
+    if not 0.0 <= jitter < 0.2:
+        raise SimulationError("jitter must be in [0, 0.2)")
+    rng = np.random.default_rng(seed)
+    monthly_rate = total_growth ** (1.0 / months)
+    sizes = [1.0]
+    for _ in range(months):
+        noise = 1.0 + rng.uniform(-jitter, jitter)
+        step = max(1.0, monthly_rate * noise)  # growth never reverses
+        sizes.append(sizes[-1] * step)
+    # Renormalise the endpoint to hit the target factor exactly.
+    scale_curve = np.array(sizes)
+    exponent = np.log(total_growth) / np.log(scale_curve[-1])
+    scale_curve = scale_curve**exponent
+    return [
+        GrowthPoint(month=m, relative_size=float(s))
+        for m, s in enumerate(scale_curve)
+    ]
+
+
+def growth_factor(trace: list[GrowthPoint]) -> float:
+    """End-to-end growth multiple of a trace."""
+    if not trace:
+        raise SimulationError("empty growth trace")
+    return trace[-1].relative_size / trace[0].relative_size

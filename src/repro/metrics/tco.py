@@ -1,0 +1,145 @@
+"""Fleet-level checkpointing cost model (the paper's TCO argument).
+
+The abstract and section 4.3 frame Check-N-Run's savings as total-cost-
+of-ownership reductions: "thousands of checkpoints, each in the order
+of terabytes" flowing to remote storage make write bandwidth and
+capacity the provisioned — and paid-for — resources. This model turns
+per-job measurements (average checkpoint size fraction, required
+capacity fraction) into fleet-level aggregate demand, so the Fig 17
+reduction factors can be read as infrastructure units saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import GiB
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FleetProfile:
+    """The checkpointing fleet being provisioned for."""
+
+    concurrent_jobs: int = 300  # "hundreds of training clusters"
+    model_bytes: int = 1024 * GiB  # terabyte-class models
+    checkpoint_interval_s: float = 1800.0  # 30 minutes
+    replication_factor: int = 3
+
+    def __post_init__(self) -> None:
+        if self.concurrent_jobs < 1:
+            raise SimulationError("need at least one job")
+        if self.model_bytes <= 0:
+            raise SimulationError("model bytes must be positive")
+        if self.checkpoint_interval_s <= 0:
+            raise SimulationError("interval must be positive")
+        if self.replication_factor < 1:
+            raise SimulationError("replication factor >= 1")
+
+
+@dataclass(frozen=True)
+class FleetDemand:
+    """Aggregate storage-side demand of one checkpointing configuration."""
+
+    write_bandwidth_bytes_per_s: float
+    storage_capacity_bytes: float
+
+    def bandwidth_reduction_vs(self, other: "FleetDemand") -> float:
+        return (
+            other.write_bandwidth_bytes_per_s
+            / self.write_bandwidth_bytes_per_s
+        )
+
+    def capacity_reduction_vs(self, other: "FleetDemand") -> float:
+        return other.storage_capacity_bytes / self.storage_capacity_bytes
+
+
+def fleet_demand(
+    profile: FleetProfile,
+    avg_checkpoint_fraction: float,
+    capacity_fraction: float,
+) -> FleetDemand:
+    """Fleet demand from per-job measurements.
+
+    Args:
+        profile: fleet shape.
+        avg_checkpoint_fraction: average bytes written per interval as a
+            fraction of the model (Fig 15's series averaged; 1.0 for the
+            fp32 full baseline).
+        capacity_fraction: peak retained bytes as a fraction of the
+            model (Fig 16's peak; includes every checkpoint the restore
+            chain needs).
+    """
+    if avg_checkpoint_fraction <= 0 or capacity_fraction <= 0:
+        raise SimulationError("fractions must be positive")
+    logical_per_interval = profile.model_bytes * avg_checkpoint_fraction
+    physical_per_interval = (
+        logical_per_interval * profile.replication_factor
+    )
+    bandwidth = (
+        profile.concurrent_jobs
+        * physical_per_interval
+        / profile.checkpoint_interval_s
+    )
+    capacity = (
+        profile.concurrent_jobs
+        * profile.model_bytes
+        * capacity_fraction
+        * profile.replication_factor
+    )
+    return FleetDemand(
+        write_bandwidth_bytes_per_s=bandwidth,
+        storage_capacity_bytes=capacity,
+    )
+
+
+@dataclass(frozen=True)
+class TcoComparison:
+    """Baseline vs Check-N-Run fleet demand, with reduction factors."""
+
+    baseline: FleetDemand
+    check_n_run: FleetDemand
+
+    @property
+    def bandwidth_reduction(self) -> float:
+        return self.check_n_run.bandwidth_reduction_vs(self.baseline)
+
+    @property
+    def capacity_reduction(self) -> float:
+        return self.check_n_run.capacity_reduction_vs(self.baseline)
+
+    @property
+    def bandwidth_saved_bytes_per_s(self) -> float:
+        return (
+            self.baseline.write_bandwidth_bytes_per_s
+            - self.check_n_run.write_bandwidth_bytes_per_s
+        )
+
+    @property
+    def capacity_saved_bytes(self) -> float:
+        return (
+            self.baseline.storage_capacity_bytes
+            - self.check_n_run.storage_capacity_bytes
+        )
+
+
+def compare_tco(
+    profile: FleetProfile,
+    baseline_avg_fraction: float = 1.0,
+    baseline_capacity_fraction: float = 2.0,  # keep_last=2 fp32 fulls
+    cnr_avg_fraction: float = 1.0 / 12.0,  # Fig 17 best band: ~12x BW
+    cnr_capacity_fraction: float = 0.25,  # ~8x capacity
+) -> TcoComparison:
+    """Build the fleet comparison from per-job fractions.
+
+    The defaults encode this repository's measured Fig 17 factors; pass
+    measured fractions from an actual run for an end-to-end number.
+    """
+    return TcoComparison(
+        baseline=fleet_demand(
+            profile, baseline_avg_fraction, baseline_capacity_fraction
+        ),
+        check_n_run=fleet_demand(
+            profile, cnr_avg_fraction, cnr_capacity_fraction
+        ),
+    )

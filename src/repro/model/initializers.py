@@ -1,0 +1,34 @@
+"""Parameter initialisation for the numpy DLRM.
+
+Matches the conventions of the open-source DLRM reference: MLP weights
+use Xavier/Glorot uniform scaling, embedding tables use a uniform
+distribution whose width shrinks with the table's row count (so that a
+pooled-sum of lookups starts at unit-ish scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot-uniform weight matrix of shape (fan_in, fan_out)."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(
+        np.float32
+    )
+
+
+def embedding_uniform(
+    rows: int, dim: int, rng: np.random.Generator
+) -> np.ndarray:
+    """DLRM-style embedding init: U(-1/sqrt(rows), 1/sqrt(rows))."""
+    limit = 1.0 / np.sqrt(rows)
+    return rng.uniform(-limit, limit, size=(rows, dim)).astype(np.float32)
+
+
+def zeros(*shape: int) -> np.ndarray:
+    """fp32 zeros — bias initialisation."""
+    return np.zeros(shape, dtype=np.float32)

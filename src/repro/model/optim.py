@@ -1,0 +1,147 @@
+"""Optimizers: dense (MLP) and sparse row-wise (embedding tables).
+
+Production DLRM trains embeddings with *row-wise Adagrad*: one scalar
+accumulator per embedding row, updated with the mean squared gradient of
+that row. The accumulator is part of the trainer state and therefore
+part of every checkpoint (paper section 4.1: "the trainer state consists
+of all the model layers ..., the optimizer state, and the relevant
+metrics").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrainingError
+from .embedding import EmbeddingTable, SparseGrad
+
+
+class DenseSGD:
+    """Plain SGD for dense (MLP) parameters."""
+
+    name = "sgd"
+
+    def __init__(self, learning_rate: float = 0.05) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.learning_rate = learning_rate
+
+    def step(
+        self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]
+    ) -> None:
+        for name, param in params.items():
+            param -= self.learning_rate * grads[name]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """SGD is stateless; nothing to checkpoint."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            raise TrainingError("DenseSGD has no state to load")
+
+
+class DenseAdagrad:
+    """Adagrad for dense parameters (per-element accumulators)."""
+
+    name = "adagrad"
+
+    def __init__(self, learning_rate: float = 0.05, eps: float = 1e-8):
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.eps = eps
+        self._accum: dict[str, np.ndarray] = {}
+
+    def step(
+        self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]
+    ) -> None:
+        for name, param in params.items():
+            grad = grads[name]
+            if name not in self._accum:
+                self._accum[name] = np.zeros_like(param)
+            accum = self._accum[name]
+            accum += grad * grad
+            param -= self.learning_rate * grad / (np.sqrt(accum) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: arr.copy() for name, arr in self._accum.items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._accum = {name: arr.copy() for name, arr in state.items()}
+
+
+class SparseRowWiseAdagrad:
+    """Row-wise Adagrad for one embedding table.
+
+    State is a single fp32 accumulator per row. On each step, touched
+    rows add the mean squared gradient of their row; the row update is
+    scaled by ``lr / (sqrt(accum) + eps)``.
+    """
+
+    name = "rowwise_adagrad"
+
+    def __init__(
+        self,
+        table: EmbeddingTable,
+        learning_rate: float = 0.05,
+        eps: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.table = table
+        self.learning_rate = learning_rate
+        self.eps = eps
+        self.accumulator = np.zeros(table.rows, dtype=np.float32)
+
+    def step(self, grad: SparseGrad) -> np.ndarray:
+        """Apply a sparse update; returns the rows actually modified."""
+        if grad.rows.size == 0:
+            return grad.rows
+        mean_sq = np.mean(
+            grad.values.astype(np.float64) ** 2, axis=1
+        ).astype(np.float32)
+        self.accumulator[grad.rows] += mean_sq
+        denom = np.sqrt(self.accumulator[grad.rows]) + self.eps
+        update = self.learning_rate * grad.values / denom[:, None]
+        self.table.weight[grad.rows] -= update
+        return grad.rows
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {"accumulator": self.accumulator.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        accumulator = state["accumulator"]
+        if accumulator.shape != self.accumulator.shape:
+            raise TrainingError(
+                f"accumulator shape mismatch: {accumulator.shape} vs "
+                f"{self.accumulator.shape}"
+            )
+        np.copyto(self.accumulator, accumulator)
+
+
+class SparseSGD:
+    """Stateless sparse SGD — the simpler embedding optimizer option."""
+
+    name = "sparse_sgd"
+
+    def __init__(
+        self, table: EmbeddingTable, learning_rate: float = 0.05
+    ) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning rate must be positive")
+        self.table = table
+        self.learning_rate = learning_rate
+
+    def step(self, grad: SparseGrad) -> np.ndarray:
+        if grad.rows.size == 0:
+            return grad.rows
+        self.table.weight[grad.rows] -= self.learning_rate * grad.values
+        return grad.rows
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if state:
+            raise TrainingError("SparseSGD has no state to load")

@@ -1,0 +1,46 @@
+"""Checkpoint quantization library (paper section 5.2).
+
+Public surface:
+
+* :class:`~repro.quant.base.Quantizer` / :class:`~repro.quant.base.QuantizedTensor`
+* Uniform methods: :class:`~repro.quant.uniform.SymmetricQuantizer`,
+  :class:`~repro.quant.uniform.AsymmetricQuantizer`
+* :class:`~repro.quant.adaptive.AdaptiveAsymmetricQuantizer` (greedy search)
+* :class:`~repro.quant.kmeans.KMeansQuantizer` (rejected comparator)
+* :func:`~repro.quant.registry.make_quantizer` (config-string factory)
+* :func:`~repro.quant.error.mean_l2_error` (the paper's metric)
+* Sampling profiler: :func:`~repro.quant.profiler.auto_tune`
+"""
+
+from .adaptive import AdaptiveAsymmetricQuantizer, greedy_range_search
+from .base import IdentityQuantizer, QuantizedTensor, Quantizer
+from .error import improvement, max_abs_error, mean_l2_error, row_l2_errors
+from .kmeans import KMeansQuantizer
+from .packing import pack_bits, packed_size, unpack_bits
+from .profiler import ProfileResult, auto_tune, select_num_bins, select_ratio
+from .registry import make_quantizer, quantizer_for_decoding
+from .uniform import AsymmetricQuantizer, SymmetricQuantizer
+
+__all__ = [
+    "AdaptiveAsymmetricQuantizer",
+    "AsymmetricQuantizer",
+    "IdentityQuantizer",
+    "KMeansQuantizer",
+    "ProfileResult",
+    "QuantizedTensor",
+    "Quantizer",
+    "SymmetricQuantizer",
+    "auto_tune",
+    "greedy_range_search",
+    "improvement",
+    "make_quantizer",
+    "max_abs_error",
+    "mean_l2_error",
+    "pack_bits",
+    "packed_size",
+    "quantizer_for_decoding",
+    "row_l2_errors",
+    "select_num_bins",
+    "select_ratio",
+    "unpack_bits",
+]

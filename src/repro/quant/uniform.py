@@ -1,0 +1,183 @@
+"""Uniform quantization: symmetric and asymmetric (paper section 5.2, A1).
+
+Both methods map each embedding-vector element ``x`` (clipped to
+``[xmin, xmax]``) onto an integer grid::
+
+    scale   = (xmax - xmin) / (2^N - 1)
+    x_q     = round((x - zero_point) / scale),   zero_point = xmin
+    x_hat   = scale * x_q + zero_point
+
+Symmetric quantization sets ``xmax = max(|X_i|)`` and ``xmin = -xmax``
+per row; asymmetric uses the row's actual min/max. The paper finds
+asymmetric consistently better because embedding values are not
+symmetrically distributed (Fig 9), at the small cost of storing both
+``xmin`` and ``xmax`` per vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import QuantizedTensor, Quantizer
+from .packing import pack_rows, unpack_rows
+
+
+def uniform_quantize_rows(
+    tensor: np.ndarray,
+    xmin: np.ndarray,
+    xmax: np.ndarray,
+    bits: int,
+) -> np.ndarray:
+    """Quantize each row of ``tensor`` against its own [xmin, xmax].
+
+    Values outside the range are clipped (that is the adaptive method's
+    entire trick: a tighter range costs clipping but buys resolution).
+    Constant rows (xmax == xmin) map to code 0.
+
+    Returns a (rows, dim) uint8 code matrix.
+    """
+    levels = (1 << bits) - 1
+    xmin_col = xmin.reshape(-1, 1).astype(np.float32)
+    xmax_col = xmax.reshape(-1, 1).astype(np.float32)
+    span = xmax_col - xmin_col
+    # Avoid divide-by-zero on constant rows; their codes become 0.
+    safe_span = np.where(span > 0, span, 1.0)
+    scale = safe_span / levels
+    clipped = np.clip(tensor, xmin_col, xmax_col)
+    codes = np.rint((clipped - xmin_col) / scale)
+    codes = np.clip(codes, 0, levels)
+    return codes.astype(np.uint8)
+
+
+def uniform_dequantize_rows(
+    codes: np.ndarray,
+    xmin: np.ndarray,
+    xmax: np.ndarray,
+    bits: int,
+) -> np.ndarray:
+    """Invert :func:`uniform_quantize_rows` (up to grid resolution)."""
+    levels = (1 << bits) - 1
+    xmin_col = xmin.reshape(-1, 1).astype(np.float32)
+    xmax_col = xmax.reshape(-1, 1).astype(np.float32)
+    span = xmax_col - xmin_col
+    safe_span = np.where(span > 0, span, 1.0)
+    scale = safe_span / levels
+    out = codes.astype(np.float32) * scale + xmin_col
+    return out.astype(np.float32)
+
+
+def quantization_l2_per_row(
+    tensor: np.ndarray,
+    xmin: np.ndarray,
+    xmax: np.ndarray,
+    bits: int,
+) -> np.ndarray:
+    """Per-row l2 error of a hypothetical quantization (no packing).
+
+    The adaptive greedy search calls this twice per iteration to compare
+    candidate ranges, so it avoids materialising packed codes.
+    """
+    codes = uniform_quantize_rows(tensor, xmin, xmax, bits)
+    recon = uniform_dequantize_rows(codes, xmin, xmax, bits)
+    diff = tensor.astype(np.float64) - recon.astype(np.float64)
+    return np.sqrt(np.sum(diff * diff, axis=1))
+
+
+class SymmetricQuantizer(Quantizer):
+    """Per-row symmetric uniform quantization: range [-max|x|, +max|x|].
+
+    Only one parameter per row (``xmax``) needs storing; ``xmin`` is
+    implied. Cheapest metadata, worst error on skewed rows (Fig 9).
+
+    ``compact_params=True`` stores the range parameter as fp16 — the
+    metadata optimisation the paper defers to future work (section
+    6.3.2). De-quantization must then use the *rounded* bound so the
+    grid stays self-consistent.
+    """
+
+    name = "symmetric"
+
+    def __init__(self, bits: int, compact_params: bool = False) -> None:
+        super().__init__(bits)
+        self.compact_params = compact_params
+        self._param_dtype = np.float16 if compact_params else np.float32
+
+    def quantize(self, tensor: np.ndarray) -> QuantizedTensor:
+        x = self._check_input(tensor)
+        xmax = np.max(np.abs(x), axis=1)
+        if self.compact_params:
+            # Round the fp16 bound *outward* so it still covers the
+            # data; encode and decode then share the exact same grid.
+            xmax = np.nextafter(
+                xmax.astype(np.float16), np.float16(np.inf)
+            ).astype(np.float32)
+        xmax = xmax.astype(np.float32)
+        codes = uniform_quantize_rows(x, -xmax, xmax, self.bits)
+        return QuantizedTensor(
+            codes=pack_rows(codes, self.bits),
+            bit_width=self.bits,
+            shape=x.shape,
+            quantizer=self.name,
+            params={"xmax": xmax.astype(self._param_dtype)},
+        )
+
+    def dequantize(self, qt: QuantizedTensor) -> np.ndarray:
+        self._check_dequant_input(qt)
+        xmax = qt.params["xmax"].astype(np.float32)
+        codes = unpack_rows(qt.codes, self.bits, qt.rows, qt.dim)
+        return uniform_dequantize_rows(codes, -xmax, xmax, self.bits)
+
+
+class AsymmetricQuantizer(Quantizer):
+    """Per-row asymmetric uniform quantization: range [min(x), max(x)].
+
+    Stores ``xmin`` and ``xmax`` per row ("the small additional overhead"
+    the paper accepts). This is Check-N-Run's default for 8-bit widths.
+
+    ``compact_params=True`` stores both bounds as fp16 (half the
+    metadata), the optimisation the paper notes as future work. The
+    quantization grid is computed against the *rounded* bounds so
+    encode and decode agree exactly.
+    """
+
+    name = "asymmetric"
+
+    def __init__(self, bits: int, compact_params: bool = False) -> None:
+        super().__init__(bits)
+        self.compact_params = compact_params
+        self._param_dtype = np.float16 if compact_params else np.float32
+
+    def _bounds(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        xmin = np.min(x, axis=1)
+        xmax = np.max(x, axis=1)
+        if self.compact_params:
+            # Round outward so the stored range still covers the data.
+            xmin = np.nextafter(
+                xmin.astype(np.float16), np.float16(-np.inf)
+            ).astype(np.float32)
+            xmax = np.nextafter(
+                xmax.astype(np.float16), np.float16(np.inf)
+            ).astype(np.float32)
+        return xmin.astype(np.float32), xmax.astype(np.float32)
+
+    def quantize(self, tensor: np.ndarray) -> QuantizedTensor:
+        x = self._check_input(tensor)
+        xmin, xmax = self._bounds(x)
+        codes = uniform_quantize_rows(x, xmin, xmax, self.bits)
+        return QuantizedTensor(
+            codes=pack_rows(codes, self.bits),
+            bit_width=self.bits,
+            shape=x.shape,
+            quantizer=self.name,
+            params={
+                "xmin": xmin.astype(self._param_dtype),
+                "xmax": xmax.astype(self._param_dtype),
+            },
+        )
+
+    def dequantize(self, qt: QuantizedTensor) -> np.ndarray:
+        self._check_dequant_input(qt)
+        xmin = qt.params["xmin"].astype(np.float32)
+        xmax = qt.params["xmax"].astype(np.float32)
+        codes = unpack_rows(qt.codes, self.bits, qt.rows, qt.dim)
+        return uniform_dequantize_rows(codes, xmin, xmax, self.bits)

@@ -1,0 +1,43 @@
+"""Checkpoint serialization: frame format, codecs, generic compression."""
+
+from .codec import (
+    decode_array,
+    decode_payload,
+    decode_quantized,
+    encode_array,
+    encode_payload,
+    encode_quantized,
+)
+from .compress import (
+    CompressionReport,
+    Compressor,
+    DeflateCompressor,
+    RleCompressor,
+    make_compressor,
+)
+from .format import (
+    Chunk,
+    FrameReader,
+    FrameWriter,
+    decode_frames,
+    encode_frames,
+)
+
+__all__ = [
+    "Chunk",
+    "CompressionReport",
+    "Compressor",
+    "DeflateCompressor",
+    "FrameReader",
+    "FrameWriter",
+    "RleCompressor",
+    "decode_array",
+    "decode_frames",
+    "decode_payload",
+    "decode_quantized",
+    "encode_array",
+    "encode_frames",
+    "encode_payload",
+    "encode_quantized",
+    "make_compressor",
+]

@@ -1,0 +1,165 @@
+"""Codecs for numpy arrays and quantized tensors.
+
+Payloads are self-describing: a small JSON header (dtype, shape, and for
+quantized tensors the quantizer name, bit width and parameter arrays)
+followed by raw little-endian bytes. Kept independent from the frame
+format so codecs can be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import SerializationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..quant.base import QuantizedTensor
+
+_LEN = struct.Struct(">I")
+
+#: dtypes the codec will round-trip; checkpoints only ever contain these.
+_ALLOWED_DTYPES = {
+    "float64",
+    "float32",
+    "float16",
+    "int64",
+    "int32",
+    "int16",
+    "uint8",
+    "int8",
+    "bool",
+}
+
+
+def _header(blob: dict) -> bytes:
+    encoded = json.dumps(blob, sort_keys=True).encode("utf-8")
+    return _LEN.pack(len(encoded)) + encoded
+
+
+def _split_header(data: bytes) -> tuple[dict, bytes]:
+    if len(data) < _LEN.size:
+        raise SerializationError("payload too short for codec header")
+    (length,) = _LEN.unpack(data[: _LEN.size])
+    end = _LEN.size + length
+    if len(data) < end:
+        raise SerializationError("truncated codec header")
+    try:
+        header = json.loads(data[_LEN.size : end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt codec header: {exc}") from exc
+    return header, data[end:]
+
+
+def encode_array(arr: np.ndarray) -> bytes:
+    """Encode an ndarray as header + raw little-endian bytes."""
+    dtype = np.dtype(arr.dtype)
+    if dtype.name not in _ALLOWED_DTYPES:
+        raise SerializationError(f"refusing to encode dtype {dtype.name}")
+    contiguous = np.ascontiguousarray(arr)
+    le = contiguous.astype(dtype.newbyteorder("<"), copy=False)
+    header = _header(
+        {"kind": "array", "dtype": dtype.name, "shape": list(arr.shape)}
+    )
+    return header + le.tobytes()
+
+
+def decode_array(data: bytes) -> np.ndarray:
+    """Decode bytes produced by :func:`encode_array`."""
+    header, body = _split_header(data)
+    if header.get("kind") != "array":
+        raise SerializationError(f"expected array payload, got {header!r}")
+    dtype_name = header["dtype"]
+    if dtype_name not in _ALLOWED_DTYPES:
+        raise SerializationError(f"refusing to decode dtype {dtype_name}")
+    dtype = np.dtype(dtype_name).newbyteorder("<")
+    shape = tuple(header["shape"])
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(body) != expected:
+        raise SerializationError(
+            f"array body is {len(body)} bytes, expected {expected}"
+        )
+    arr = np.frombuffer(body, dtype=dtype).reshape(shape)
+    return arr.astype(np.dtype(dtype_name), copy=True)
+
+
+def encode_quantized(qt: "QuantizedTensor") -> bytes:
+    """Encode a quantized tensor: header + packed codes + param arrays."""
+    parts: list[bytes] = []
+    param_specs: list[dict] = []
+    for name in sorted(qt.params):
+        payload = encode_array(qt.params[name])
+        param_specs.append({"name": name, "length": len(payload)})
+        parts.append(payload)
+    codes = encode_array(qt.codes)
+    header = _header(
+        {
+            "kind": "quantized",
+            "quantizer": qt.quantizer,
+            "bit_width": qt.bit_width,
+            "shape": list(qt.shape),
+            "codes_length": len(codes),
+            "params": param_specs,
+        }
+    )
+    return header + codes + b"".join(parts)
+
+
+def decode_quantized(data: bytes) -> "QuantizedTensor":
+    """Decode bytes produced by :func:`encode_quantized`."""
+    from ..quant.base import QuantizedTensor
+
+    header, body = _split_header(data)
+    if header.get("kind") != "quantized":
+        raise SerializationError(
+            f"expected quantized payload, got {header!r}"
+        )
+    codes_length = int(header["codes_length"])
+    if len(body) < codes_length:
+        raise SerializationError("truncated quantized payload (codes)")
+    codes = decode_array(body[:codes_length])
+    offset = codes_length
+    params: dict[str, np.ndarray] = {}
+    for spec in header["params"]:
+        length = int(spec["length"])
+        segment = body[offset : offset + length]
+        if len(segment) != length:
+            raise SerializationError(
+                f"truncated quantized payload (param {spec['name']})"
+            )
+        params[spec["name"]] = decode_array(segment)
+        offset += length
+    if offset != len(body):
+        raise SerializationError("trailing bytes after quantized payload")
+    return QuantizedTensor(
+        codes=codes,
+        bit_width=int(header["bit_width"]),
+        shape=tuple(header["shape"]),
+        quantizer=str(header["quantizer"]),
+        params=params,
+    )
+
+
+def encode_payload(obj: "np.ndarray | QuantizedTensor") -> bytes:
+    """Encode either a raw array or a quantized tensor (dispatching)."""
+    from ..quant.base import QuantizedTensor
+
+    if isinstance(obj, QuantizedTensor):
+        return encode_quantized(obj)
+    if isinstance(obj, np.ndarray):
+        return encode_array(obj)
+    raise SerializationError(f"cannot encode object of type {type(obj)!r}")
+
+
+def decode_payload(data: bytes) -> "np.ndarray | QuantizedTensor":
+    """Decode a payload produced by :func:`encode_payload`."""
+    header, _ = _split_header(data)
+    kind = header.get("kind")
+    if kind == "array":
+        return decode_array(data)
+    if kind == "quantized":
+        return decode_quantized(data)
+    raise SerializationError(f"unknown payload kind {kind!r}")

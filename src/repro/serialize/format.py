@@ -1,0 +1,191 @@
+"""Chunked binary checkpoint framing with CRC32 integrity.
+
+Checkpoint payloads are stored as a sequence of self-describing frames::
+
+    MAGIC "CNR1" | u16 version | u32 meta_len | meta (UTF-8 JSON)
+    for each chunk:
+        "CHNK" | u32 chunk_id | u64 payload_len | u32 crc32 | payload
+    "CEND" | u32 num_chunks | u32 crc_of_chunk_ids
+
+The format is deliberately simple: every chunk can be written as soon as
+it is produced (the paper's pipelined quantize-then-store, section 4.4)
+and every chunk is independently verifiable on restore.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator
+
+from ..errors import SerializationError
+
+MAGIC = b"CNR1"
+CHUNK_MAGIC = b"CHNK"
+END_MAGIC = b"CEND"
+VERSION = 1
+
+_HEADER_FMT = struct.Struct(">HI")  # version, meta_len
+_CHUNK_FMT = struct.Struct(">IQI")  # chunk_id, payload_len, crc32
+_END_FMT = struct.Struct(">II")  # num_chunks, ids_crc
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One verified chunk read back from a frame stream."""
+
+    chunk_id: int
+    payload: bytes
+
+
+class FrameWriter:
+    """Streams frames to a binary file-like object.
+
+    Usage::
+
+        writer = FrameWriter(stream)
+        writer.write_header({"checkpoint_id": "ckpt-3"})
+        writer.write_chunk(0, payload)
+        writer.finish()
+    """
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._chunk_ids: list[int] = []
+        self._header_written = False
+        self._finished = False
+        self.bytes_written = 0
+
+    def write_header(self, meta: dict) -> int:
+        """Write the header frame; returns bytes written."""
+        if self._header_written:
+            raise SerializationError("header already written")
+        blob = json.dumps(meta, sort_keys=True).encode("utf-8")
+        out = MAGIC + _HEADER_FMT.pack(VERSION, len(blob)) + blob
+        self._stream.write(out)
+        self._header_written = True
+        self.bytes_written += len(out)
+        return len(out)
+
+    def write_chunk(self, chunk_id: int, payload: bytes) -> int:
+        """Write one chunk frame; returns bytes written."""
+        if not self._header_written:
+            raise SerializationError("write_header must precede chunks")
+        if self._finished:
+            raise SerializationError("writer already finished")
+        if chunk_id < 0 or chunk_id > 0xFFFFFFFF:
+            raise SerializationError(f"chunk_id {chunk_id} out of range")
+        out = CHUNK_MAGIC + _CHUNK_FMT.pack(
+            chunk_id, len(payload), _crc(payload)
+        )
+        self._stream.write(out)
+        self._stream.write(payload)
+        self._chunk_ids.append(chunk_id)
+        written = len(out) + len(payload)
+        self.bytes_written += written
+        return written
+
+    def finish(self) -> int:
+        """Write the end frame; returns bytes written."""
+        if not self._header_written:
+            raise SerializationError("cannot finish before header")
+        if self._finished:
+            raise SerializationError("writer already finished")
+        ids_blob = b"".join(struct.pack(">I", i) for i in self._chunk_ids)
+        out = END_MAGIC + _END_FMT.pack(len(self._chunk_ids), _crc(ids_blob))
+        self._stream.write(out)
+        self._finished = True
+        self.bytes_written += len(out)
+        return len(out)
+
+
+class FrameReader:
+    """Reads and verifies frames produced by :class:`FrameWriter`."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._meta: dict | None = None
+
+    def _read_exact(self, n: int, what: str) -> bytes:
+        data = self._stream.read(n)
+        if len(data) != n:
+            raise SerializationError(
+                f"truncated stream while reading {what} "
+                f"(wanted {n} bytes, got {len(data)})"
+            )
+        return data
+
+    def read_header(self) -> dict:
+        """Read and return the header metadata dict."""
+        magic = self._read_exact(len(MAGIC), "magic")
+        if magic != MAGIC:
+            raise SerializationError(f"bad magic {magic!r}; not a CNR frame")
+        version, meta_len = _HEADER_FMT.unpack(
+            self._read_exact(_HEADER_FMT.size, "header")
+        )
+        if version != VERSION:
+            raise SerializationError(f"unsupported frame version {version}")
+        blob = self._read_exact(meta_len, "metadata")
+        try:
+            self._meta = json.loads(blob.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"corrupt metadata: {exc}") from exc
+        return self._meta
+
+    def iter_chunks(self) -> Iterator[Chunk]:
+        """Yield verified chunks; raises on CRC mismatch or truncation."""
+        if self._meta is None:
+            self.read_header()
+        seen_ids: list[int] = []
+        while True:
+            magic = self._read_exact(4, "chunk magic")
+            if magic == END_MAGIC:
+                num_chunks, ids_crc = _END_FMT.unpack(
+                    self._read_exact(_END_FMT.size, "end frame")
+                )
+                if num_chunks != len(seen_ids):
+                    raise SerializationError(
+                        f"end frame declares {num_chunks} chunks, "
+                        f"stream contained {len(seen_ids)}"
+                    )
+                ids_blob = b"".join(struct.pack(">I", i) for i in seen_ids)
+                if _crc(ids_blob) != ids_crc:
+                    raise SerializationError("chunk id list CRC mismatch")
+                return
+            if magic != CHUNK_MAGIC:
+                raise SerializationError(f"bad chunk magic {magic!r}")
+            chunk_id, payload_len, crc = _CHUNK_FMT.unpack(
+                self._read_exact(_CHUNK_FMT.size, "chunk header")
+            )
+            payload = self._read_exact(payload_len, f"chunk {chunk_id}")
+            if _crc(payload) != crc:
+                raise SerializationError(
+                    f"chunk {chunk_id} CRC mismatch (corrupt payload)"
+                )
+            seen_ids.append(chunk_id)
+            yield Chunk(chunk_id, payload)
+
+
+def encode_frames(meta: dict, chunks: list[tuple[int, bytes]]) -> bytes:
+    """One-shot encode: header + chunks + end frame into a bytes blob."""
+    buf = io.BytesIO()
+    writer = FrameWriter(buf)
+    writer.write_header(meta)
+    for chunk_id, payload in chunks:
+        writer.write_chunk(chunk_id, payload)
+    writer.finish()
+    return buf.getvalue()
+
+
+def decode_frames(data: bytes) -> tuple[dict, list[Chunk]]:
+    """One-shot decode: returns (meta, chunks); raises on any corruption."""
+    reader = FrameReader(io.BytesIO(data))
+    meta = reader.read_header()
+    return meta, list(reader.iter_chunks())

@@ -1,0 +1,24 @@
+"""Simulated remote object storage: backends, bandwidth, capacity."""
+
+from .backends import Backend, FileBackend, InMemoryBackend, MirroredBackend
+from .bandwidth import Transfer, TransferLog, transfer_time_s
+from .object_store import (
+    CapacityPoint,
+    ObjectStore,
+    PutReceipt,
+    StoreStats,
+)
+
+__all__ = [
+    "Backend",
+    "CapacityPoint",
+    "FileBackend",
+    "InMemoryBackend",
+    "MirroredBackend",
+    "ObjectStore",
+    "PutReceipt",
+    "StoreStats",
+    "Transfer",
+    "TransferLog",
+    "transfer_time_s",
+]

@@ -1,0 +1,184 @@
+"""Byte-storage backends for the simulated object store.
+
+The :class:`InMemoryBackend` is the default for experiments (fast,
+hermetic); the :class:`FileBackend` persists objects under a directory
+so examples can demonstrate real crash-restart recovery across
+processes. A :class:`MirroredBackend` keeps N synchronous replicas and
+survives the loss of any single one — the availability property the
+paper gets from its replicated blob store.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from ..errors import ObjectNotFoundError, StorageError
+
+
+class Backend(ABC):
+    """Minimal key -> bytes storage interface."""
+
+    @abstractmethod
+    def write(self, key: str, data: bytes) -> None:
+        """Store ``data`` under ``key`` (overwrite allowed)."""
+
+    @abstractmethod
+    def read(self, key: str) -> bytes:
+        """Fetch ``key``; raises :class:`ObjectNotFoundError` if absent."""
+
+    @abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; raises :class:`ObjectNotFoundError` if absent."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is present."""
+
+    @abstractmethod
+    def list_keys(self, prefix: str = "") -> list[str]:
+        """All keys with the given prefix, sorted."""
+
+
+class InMemoryBackend(Backend):
+    """Dict-backed storage; the default for simulations and tests."""
+
+    def __init__(self) -> None:
+        self._objects: dict[str, bytes] = {}
+
+    def write(self, key: str, data: bytes) -> None:
+        self._objects[key] = bytes(data)
+
+    def read(self, key: str) -> bytes:
+        try:
+            return self._objects[key]
+        except KeyError:
+            raise ObjectNotFoundError(f"no object {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        if key not in self._objects:
+            raise ObjectNotFoundError(f"no object {key!r}")
+        del self._objects[key]
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return sorted(k for k in self._objects if k.startswith(prefix))
+
+
+class FileBackend(Backend):
+    """Filesystem-backed storage rooted at a directory.
+
+    Keys may contain ``/`` which map to subdirectories. Writes are
+    atomic (write to a temp name, then rename) so a crashed writer never
+    leaves a half-written object visible.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not key or key.startswith("/") or ".." in key.split("/"):
+            raise StorageError(f"invalid object key {key!r}")
+        return self.root / key
+
+    def write(self, key: str, data: bytes) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
+    def read(self, key: str) -> bytes:
+        path = self._path(key)
+        if not path.is_file():
+            raise ObjectNotFoundError(f"no object {key!r}")
+        return path.read_bytes()
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if not path.is_file():
+            raise ObjectNotFoundError(f"no object {key!r}")
+        path.unlink()
+
+    def exists(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        keys = []
+        for path in self.root.rglob("*"):
+            if path.is_file() and not path.name.endswith(".tmp"):
+                key = str(path.relative_to(self.root))
+                if key.startswith(prefix):
+                    keys.append(key)
+        return sorted(keys)
+
+
+class MirroredBackend(Backend):
+    """N synchronous replicas; reads fall through to any live replica.
+
+    ``fail_replica`` simulates losing one replica's media — subsequent
+    reads still succeed from the survivors, which is the availability
+    argument for writing checkpoints to replicated remote storage
+    rather than trainer-local disks.
+    """
+
+    def __init__(self, replicas: list[Backend]) -> None:
+        if not replicas:
+            raise StorageError("MirroredBackend needs at least one replica")
+        self._replicas = list(replicas)
+        self._failed: set[int] = set()
+
+    @property
+    def replication_factor(self) -> int:
+        return len(self._replicas)
+
+    def fail_replica(self, index: int) -> None:
+        """Mark one replica as lost (its contents become unreachable)."""
+        if not 0 <= index < len(self._replicas):
+            raise StorageError(f"no replica {index}")
+        self._failed.add(index)
+
+    def _live(self) -> list[Backend]:
+        live = [
+            r
+            for i, r in enumerate(self._replicas)
+            if i not in self._failed
+        ]
+        if not live:
+            raise StorageError("all replicas have failed")
+        return live
+
+    def write(self, key: str, data: bytes) -> None:
+        for replica in self._live():
+            replica.write(key, data)
+
+    def read(self, key: str) -> bytes:
+        last_error: ObjectNotFoundError | None = None
+        for replica in self._live():
+            try:
+                return replica.read(key)
+            except ObjectNotFoundError as exc:
+                last_error = exc
+        raise last_error or ObjectNotFoundError(f"no object {key!r}")
+
+    def delete(self, key: str) -> None:
+        found = False
+        for replica in self._live():
+            if replica.exists(key):
+                replica.delete(key)
+                found = True
+        if not found:
+            raise ObjectNotFoundError(f"no object {key!r}")
+
+    def exists(self, key: str) -> bool:
+        return any(r.exists(key) for r in self._live())
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        keys: set[str] = set()
+        for replica in self._live():
+            keys.update(replica.list_keys(prefix))
+        return sorted(keys)

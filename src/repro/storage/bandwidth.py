@@ -1,0 +1,85 @@
+"""Bandwidth accounting for the simulated remote store.
+
+Checkpoint frequency "is bounded by the available write bandwidth to
+remote storage" (paper section 4.3); every reduction factor in Fig 17 is
+ultimately a statement about bytes pushed through this link. The store
+serialises transfers on a :class:`~repro.distributed.clock.Timeline` and
+records them here so experiments can ask for average or windowed write
+bandwidth after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import StorageError
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One completed transfer over the storage link."""
+
+    key: str
+    nbytes: int  # physical bytes, i.e. logical * replication
+    start_s: float
+    end_s: float
+    kind: str  # "put" or "get"
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class TransferLog:
+    """Ordered record of transfers with bandwidth queries."""
+
+    def __init__(self) -> None:
+        self._transfers: list[Transfer] = []
+
+    def record(self, transfer: Transfer) -> None:
+        self._transfers.append(transfer)
+
+    def transfers(self, kind: str | None = None) -> list[Transfer]:
+        if kind is None:
+            return list(self._transfers)
+        return [t for t in self._transfers if t.kind == kind]
+
+    def total_bytes(self, kind: str = "put") -> int:
+        return sum(t.nbytes for t in self._transfers if t.kind == kind)
+
+    def average_bandwidth(
+        self, start_s: float, end_s: float, kind: str = "put"
+    ) -> float:
+        """Mean bytes/sec of ``kind`` transfers overlapping the window.
+
+        Each transfer contributes pro-rata for the fraction of its
+        duration inside the window — the natural definition for the
+        interval-bandwidth series of Fig 15.
+        """
+        if end_s <= start_s:
+            raise StorageError(
+                f"empty bandwidth window [{start_s}, {end_s}]"
+            )
+        moved = 0.0
+        for t in self._transfers:
+            if t.kind != kind or t.end_s <= start_s or t.start_s >= end_s:
+                continue
+            overlap = min(t.end_s, end_s) - max(t.start_s, start_s)
+            if t.duration_s > 0:
+                moved += t.nbytes * (overlap / t.duration_s)
+            else:
+                moved += t.nbytes
+        return moved / (end_s - start_s)
+
+
+def transfer_time_s(
+    nbytes: int, bandwidth: float, latency_s: float
+) -> float:
+    """Link-level transfer duration: fixed latency + bytes / bandwidth."""
+    if nbytes < 0:
+        raise StorageError(f"negative transfer size {nbytes}")
+    if bandwidth <= 0:
+        raise StorageError(f"non-positive bandwidth {bandwidth}")
+    if latency_s < 0:
+        raise StorageError(f"negative latency {latency_s}")
+    return latency_s + nbytes / bandwidth

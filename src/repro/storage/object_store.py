@@ -1,0 +1,201 @@
+"""The simulated remote object store.
+
+Checkpoints are written to "remote object storage to provide high
+availability (including replications) and storage scalability" (paper
+section 4). This store wraps a byte backend with:
+
+* **timing** — transfers are serialised on a storage :class:`Timeline`
+  in simulated time, at the configured bandwidth and per-op latency;
+* **replication accounting** — physical bytes = logical x factor;
+* **capacity accounting** — live logical/physical bytes over time, the
+  series behind Fig 16, plus an optional hard capacity limit;
+* **a transfer log** — the series behind Fig 15's bandwidth numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import StorageConfig
+from ..distributed.clock import SimClock, Timeline
+from ..errors import CapacityExceededError, ObjectExistsError, StorageError
+from .backends import Backend, InMemoryBackend
+from .bandwidth import Transfer, TransferLog, transfer_time_s
+
+
+@dataclass(frozen=True)
+class PutReceipt:
+    """Completion record of a PUT."""
+
+    key: str
+    logical_bytes: int
+    physical_bytes: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """Live capacity at one moment in simulated time."""
+
+    time_s: float
+    logical_bytes: int
+    physical_bytes: int
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Aggregate store statistics."""
+
+    live_logical_bytes: int
+    live_physical_bytes: int
+    peak_physical_bytes: int
+    total_bytes_written: int
+    num_objects: int
+
+
+class ObjectStore:
+    """Bandwidth- and capacity-accounted object storage in sim time."""
+
+    def __init__(
+        self,
+        config: StorageConfig,
+        clock: SimClock,
+        backend: Backend | None = None,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.backend = backend if backend is not None else InMemoryBackend()
+        self.timeline = Timeline(clock, "storage")
+        self.log = TransferLog()
+        self._sizes: dict[str, int] = {}
+        self._capacity_series: list[CapacityPoint] = []
+        self._peak_physical = 0
+        self._total_written = 0
+        self._record_capacity(clock.now)
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def live_logical_bytes(self) -> int:
+        return sum(self._sizes.values())
+
+    @property
+    def live_physical_bytes(self) -> int:
+        return self.live_logical_bytes * self.config.replication_factor
+
+    def _record_capacity(self, time_s: float) -> None:
+        physical = self.live_physical_bytes
+        self._peak_physical = max(self._peak_physical, physical)
+        self._capacity_series.append(
+            CapacityPoint(time_s, self.live_logical_bytes, physical)
+        )
+
+    def capacity_series(self) -> list[CapacityPoint]:
+        """Live-bytes-over-time samples (one per mutation)."""
+        return list(self._capacity_series)
+
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            live_logical_bytes=self.live_logical_bytes,
+            live_physical_bytes=self.live_physical_bytes,
+            peak_physical_bytes=self._peak_physical,
+            total_bytes_written=self._total_written,
+            num_objects=len(self._sizes),
+        )
+
+    # ------------------------------------------------------------------
+    # Object operations
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        overwrite: bool = False,
+        earliest: float | None = None,
+    ) -> PutReceipt:
+        """Store an object; occupies the storage link in sim time.
+
+        ``earliest`` defers the transfer start (the pipelined checkpoint
+        writer passes the chunk's quantization-finish time here).
+        """
+        if not key:
+            raise StorageError("object key must be non-empty")
+        if self.backend.exists(key) and not overwrite:
+            raise ObjectExistsError(f"object {key!r} already exists")
+        logical = len(data)
+        physical = logical * self.config.replication_factor
+        previous = self._sizes.get(key, 0)
+        if self.config.capacity_bytes is not None:
+            projected = (
+                self.live_physical_bytes
+                - previous * self.config.replication_factor
+                + physical
+            )
+            if projected > self.config.capacity_bytes:
+                raise CapacityExceededError(
+                    f"PUT {key!r} would raise physical usage to "
+                    f"{projected} bytes, over the "
+                    f"{self.config.capacity_bytes}-byte capacity"
+                )
+        duration = transfer_time_s(
+            physical, self.config.write_bandwidth, self.config.latency_s
+        )
+        span = self.timeline.submit(
+            duration, label=f"put:{key}", earliest=earliest
+        )
+        self.backend.write(key, data)
+        self._sizes[key] = logical
+        self._total_written += physical
+        self.log.record(
+            Transfer(key, physical, span.start, span.end, "put")
+        )
+        self._record_capacity(span.end)
+        return PutReceipt(key, logical, physical, span.start, span.end)
+
+    def get(self, key: str) -> bytes:
+        """Fetch an object (timed on the shared storage timeline)."""
+        data = self.backend.read(key)
+        duration = transfer_time_s(
+            len(data), self.config.read_bandwidth, self.config.latency_s
+        )
+        span = self.timeline.submit(duration, label=f"get:{key}")
+        self.log.record(
+            Transfer(key, len(data), span.start, span.end, "get")
+        )
+        return data
+
+    def delete(self, key: str) -> None:
+        """Remove an object and update capacity accounting."""
+        self.backend.delete(key)
+        self._sizes.pop(key, None)
+        self._record_capacity(self.clock.now)
+
+    def exists(self, key: str) -> bool:
+        return self.backend.exists(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.backend.list_keys(prefix)
+
+    def object_size(self, key: str) -> int:
+        """Logical size of a stored object.
+
+        Sizes of objects written by this process are tracked in memory;
+        objects inherited from a previous process (a durable backend
+        reopened after a restart) fall back to reading the backend.
+        """
+        try:
+            return self._sizes[key]
+        except KeyError:
+            if self.backend.exists(key):
+                size = len(self.backend.read(key))
+                self._sizes[key] = size
+                return size
+            raise StorageError(f"no size recorded for {key!r}") from None

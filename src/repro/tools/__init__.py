@@ -1,0 +1,21 @@
+"""Operational tooling: CLI, checkpoint inspection, scrubbing."""
+
+from .inspect import (
+    CheckpointSummary,
+    ScrubReport,
+    format_summaries,
+    list_jobs,
+    scrub_checkpoint,
+    scrub_job,
+    summarize_job,
+)
+
+__all__ = [
+    "CheckpointSummary",
+    "ScrubReport",
+    "format_summaries",
+    "list_jobs",
+    "scrub_checkpoint",
+    "scrub_job",
+    "summarize_job",
+]

@@ -1,0 +1,235 @@
+"""Command-line interface: run jobs, inspect and scrub checkpoints.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.tools run --store-dir /tmp/ckpts --intervals 4
+    python -m repro.tools inspect --store-dir /tmp/ckpts --job job0
+    python -m repro.tools scrub --store-dir /tmp/ckpts --job job0
+    python -m repro.tools restore --store-dir /tmp/ckpts --job job0
+
+``run`` persists checkpoints (and the job's configuration) to a
+directory-backed object store, so a later ``restore`` in a *different
+process* rebuilds the model and resumes — the same crash-restart flow
+the in-memory examples demonstrate, but across real process boundaries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..config import (
+    CheckpointConfig,
+    StorageConfig,
+    experiment_config_from_dict,
+    experiment_config_to_dict,
+)
+from ..core.controller import CheckNRun
+from ..core.restore import CheckpointRestorer
+from ..data.reader import ReaderMaster
+from ..data.synthetic import SyntheticClickDataset
+from ..distributed.clock import SimClock
+from ..distributed.sharding import plan_auto
+from ..distributed.topology import SimCluster
+from ..distributed.trainer import SimTrainer
+from ..errors import ReproError
+from ..experiments.common import small_config
+from ..model.dlrm import DLRM
+from ..storage.backends import FileBackend
+from ..storage.object_store import ObjectStore
+from .inspect import format_summaries, scrub_job, summarize_job
+
+JOB_CONFIG_KEY = "{job}/job_config.json"
+
+
+def _open_store(store_dir: str, clock: SimClock) -> ObjectStore:
+    return ObjectStore(
+        StorageConfig(), clock, backend=FileBackend(store_dir)
+    )
+
+
+def _build_from_stored_config(store: ObjectStore, job: str, clock):
+    key = JOB_CONFIG_KEY.format(job=job)
+    if not store.exists(key):
+        raise ReproError(
+            f"no stored configuration for job {job!r}; was it created "
+            "with `repro run`?"
+        )
+    config = experiment_config_from_dict(
+        json.loads(store.backend.read(key))
+    )
+    dataset = SyntheticClickDataset(config.model, config.data)
+    model = DLRM(config.model)
+    reader = ReaderMaster(dataset, config.reader)
+    cluster = SimCluster(config.cluster)
+    plan = plan_auto(config.model, cluster)
+    trainer = SimTrainer(model, reader, cluster, plan, clock)
+    controller = CheckNRun(
+        trainer, reader, store, config.checkpoint, clock, job_id=job
+    )
+    return config, controller
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = small_config(
+        policy=args.policy,
+        quantizer=args.quantizer,
+        bit_width=args.bits,
+        interval_batches=args.interval_batches,
+        num_tables=args.tables,
+        rows_per_table=args.rows,
+    )
+    clock = SimClock()
+    store = _open_store(args.store_dir, clock)
+    store.put(
+        JOB_CONFIG_KEY.format(job=args.job),
+        json.dumps(experiment_config_to_dict(config)).encode("utf-8"),
+        overwrite=True,
+    )
+    dataset = SyntheticClickDataset(config.model, config.data)
+    model = DLRM(config.model)
+    reader = ReaderMaster(dataset, config.reader)
+    cluster = SimCluster(config.cluster)
+    plan = plan_auto(config.model, cluster)
+    trainer = SimTrainer(model, reader, cluster, plan, clock)
+    controller = CheckNRun(
+        trainer, reader, store, config.checkpoint, clock, job_id=args.job
+    )
+
+    # Resume if the job already has checkpoints on disk. The fresh
+    # process's clock starts at zero, before the stored checkpoints'
+    # validity times: fast-forward past the newest one.
+    restorer = CheckpointRestorer(store, clock)
+    existing = restorer.list_manifests(args.job)
+    if existing:
+        newest_valid = max(m.valid_at_s for m in existing.values())
+        clock.advance_to(newest_valid + 1.0, "prior-history")
+        controller.adopt_manifests(existing)
+        report = controller.restore_latest()
+        print(
+            f"resumed {report.checkpoint_id} at batch "
+            f"{model.batches_trained}"
+        )
+    for report in controller.run_intervals(args.intervals):
+        print(
+            f"interval done: loss={report.mean_loss:.4f} "
+            f"({report.batches} batches)"
+        )
+    print(
+        f"wrote {controller.stats.checkpoints_written} checkpoints, "
+        f"{controller.stats.bytes_written_logical / 1024:.0f} KiB logical"
+    )
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    store = _open_store(args.store_dir, SimClock())
+    print(format_summaries(summarize_job(store, args.job)))
+    return 0
+
+
+def cmd_scrub(args: argparse.Namespace) -> int:
+    store = _open_store(args.store_dir, SimClock())
+    report = scrub_job(store, args.job)
+    print(
+        f"checked {report.objects_checked} objects, "
+        f"{report.bytes_checked / 1024:.0f} KiB"
+    )
+    if report.clean:
+        print("all chunks verified clean")
+        return 0
+    for key in report.corrupt_keys:
+        print(f"CORRUPT: {key}")
+    return 1
+
+
+def cmd_restore(args: argparse.Namespace) -> int:
+    clock = SimClock()
+    store = _open_store(args.store_dir, clock)
+    config, controller = _build_from_stored_config(
+        store, args.job, clock
+    )
+    restorer = CheckpointRestorer(store, clock)
+    existing = restorer.list_manifests(args.job)
+    if existing:
+        clock.advance_to(
+            max(m.valid_at_s for m in existing.values()) + 1.0,
+            "prior-history",
+        )
+    controller.adopt_manifests(existing)
+    report = controller.restore_latest()
+    print(
+        f"restored {report.checkpoint_id} "
+        f"(chain {' -> '.join(report.chain_ids)}): "
+        f"{report.rows_restored} rows, "
+        f"{report.bytes_read / 1024:.0f} KiB, model at batch "
+        f"{controller.trainer.model.batches_trained}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Check-N-Run reproduction tooling",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="train a job with checkpoints")
+    run.add_argument("--store-dir", required=True)
+    run.add_argument("--job", default="job0")
+    run.add_argument("--policy", default="intermittent")
+    run.add_argument("--quantizer", default="adaptive")
+    run.add_argument("--bits", type=int, default=4)
+    run.add_argument("--intervals", type=int, default=3)
+    run.add_argument("--interval-batches", type=int, default=20)
+    run.add_argument("--tables", type=int, default=4)
+    run.add_argument("--rows", type=int, default=4096)
+    run.set_defaults(func=cmd_run)
+
+    inspect_cmd = sub.add_parser(
+        "inspect", help="list a job's checkpoints"
+    )
+    inspect_cmd.add_argument("--store-dir", required=True)
+    inspect_cmd.add_argument("--job", default="job0")
+    inspect_cmd.set_defaults(func=cmd_inspect)
+
+    scrub = sub.add_parser("scrub", help="verify stored chunk CRCs")
+    scrub.add_argument("--store-dir", required=True)
+    scrub.add_argument("--job", default="job0")
+    scrub.set_defaults(func=cmd_scrub)
+
+    restore = sub.add_parser(
+        "restore", help="restore a job's newest checkpoint"
+    )
+    restore.add_argument("--store-dir", required=True)
+    restore.add_argument("--job", default="job0")
+    restore.set_defaults(func=cmd_restore)
+
+    figures = sub.add_parser(
+        "figures", help="print the quick paper-figure reproductions"
+    )
+    figures.set_defaults(func=cmd_figures)
+    return parser
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from .figures import render_all
+
+    print(render_all())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+"""Quick figure reproduction without the pytest harness.
+
+The benchmark suite under ``benchmarks/`` is the full reproduction; this
+module renders the fast subset of figures as plain-text tables for users
+who want a one-command look at the paper's shapes:
+
+    python -m repro.tools figures
+
+Each renderer returns the formatted text so the CLI and the example
+script share one implementation.
+"""
+
+from __future__ import annotations
+
+from ..experiments import (
+    interval_modified_experiment,
+    modified_fraction_experiment,
+    snapshot_stall_at_scale,
+)
+from ..experiments.incremental import incremental_policy_experiment
+from ..failures import HOUR_S, FailureTrace, paper_failure_model
+from ..config import GiB
+
+
+def render_fig3(num_jobs: int = 20_000) -> str:
+    trace = FailureTrace.generate(
+        paper_failure_model(), num_jobs, seed=303
+    )
+    lines = ["Fig 3 - failure CDF (paper: P90>=13.5h, P99>=53.9h)"]
+    for point in trace.cdf(8):
+        lines.append(
+            f"  {point.fraction:5.0%} of failed jobs ran "
+            f"<= {point.time_hours:6.1f} h"
+        )
+    lines.append(
+        f"  measured P90={trace.quantile(0.9) / HOUR_S:.1f}h "
+        f"P99={trace.quantile(0.99) / HOUR_S:.1f}h"
+    )
+    return "\n".join(lines)
+
+
+def render_fig5() -> str:
+    curves = modified_fraction_experiment(
+        rows=100_000, lookups_per_step=10_000, total_steps=30,
+        starts=(0, 10, 20),
+    )
+    lines = ["Fig 5 - % of model modified vs samples (3 starts)"]
+    for curve in curves:
+        shown = ", ".join(
+            f"{f:.2f}" for f in curve.fractions[:10]
+        )
+        lines.append(f"  start {curve.start_step:2d}: {shown} ...")
+    return "\n".join(lines)
+
+
+def render_fig6() -> str:
+    results = interval_modified_experiment(
+        rows=100_000, lookups_per_minute=2_000, total_minutes=120,
+        interval_minutes=(10, 30, 60),
+    )
+    lines = ["Fig 6 - % modified per interval length"]
+    for result in results:
+        lines.append(
+            f"  {result.interval_steps:3d} min: "
+            f"{result.mean_fraction:.3f} mean "
+            f"({min(result.fractions):.3f}..{max(result.fractions):.3f})"
+        )
+    return "\n".join(lines)
+
+
+def render_fig15_16(num_intervals: int = 8) -> str:
+    runs = incremental_policy_experiment(
+        num_intervals=num_intervals,
+        interval_batches=15,
+        rows_per_table=8192,
+        num_tables=4,
+    )
+    lines = [
+        "Figs 15/16 - per-interval checkpoint size and required "
+        "capacity (x model)"
+    ]
+    header = "  interval " + " ".join(
+        f"{r.policy:>22s}" for r in runs
+    )
+    lines.append(header)
+    for i in range(num_intervals):
+        cells = " ".join(
+            f"size {r.size_fractions[i]:4.2f} cap "
+            f"{r.capacity_fractions[i]:4.2f}"
+            for r in runs
+        )
+        lines.append(f"  {i:8d} {cells}")
+    return "\n".join(lines)
+
+
+def render_stall_table() -> str:
+    lines = [
+        "Section 6.1 - snapshot stall (paper: <7s, <0.4% of interval)"
+    ]
+    for size_gib in (256, 1024, 2048):
+        row = snapshot_stall_at_scale(size_gib * GiB)
+        lines.append(
+            f"  {size_gib:5d} GiB model: {row.stall_s:5.2f}s stall, "
+            f"{row.overhead_fraction:6.3%} of a 30-min interval"
+        )
+    return "\n".join(lines)
+
+
+def render_all() -> str:
+    """All quick figures as one report."""
+    sections = [
+        render_fig3(),
+        render_fig5(),
+        render_fig6(),
+        render_fig15_16(),
+        render_stall_table(),
+    ]
+    return "\n\n".join(sections)

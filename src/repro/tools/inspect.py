@@ -1,0 +1,137 @@
+"""Checkpoint inspection and scrubbing over an object store.
+
+Operational tooling a production checkpointing deployment needs:
+listing a job's checkpoints with their lineage, verifying every stored
+chunk's CRC framing (a *scrub*, catching bit rot before a restore
+does), and summarising storage usage per checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.manifest import CheckpointManifest, checkpoint_prefix
+from ..core.restore import CheckpointRestorer
+from ..errors import SerializationError
+from ..serialize.format import decode_frames
+from ..storage.object_store import ObjectStore
+
+
+@dataclass(frozen=True)
+class CheckpointSummary:
+    """One row of the inspection listing."""
+
+    checkpoint_id: str
+    kind: str
+    base_id: str | None
+    interval_index: int
+    quantizer: str
+    bit_width: int
+    logical_bytes: int
+    rows_stored: int
+    valid_at_s: float
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of verifying a job's stored chunks."""
+
+    objects_checked: int = 0
+    bytes_checked: int = 0
+    corrupt_keys: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.corrupt_keys
+
+
+def list_jobs(store: ObjectStore) -> list[str]:
+    """Job ids present in the store (first key path segment)."""
+    jobs = {key.split("/", 1)[0] for key in store.list_keys() if "/" in key}
+    return sorted(jobs)
+
+
+def summarize_job(
+    store: ObjectStore, job_id: str
+) -> list[CheckpointSummary]:
+    """Manifest summaries for one job, oldest first."""
+    restorer = CheckpointRestorer.__new__(CheckpointRestorer)
+    restorer.store = store
+    restorer.clock = None  # type: ignore[assignment] - listing only
+    manifests = CheckpointRestorer.list_manifests(restorer, job_id)
+    return [
+        CheckpointSummary(
+            checkpoint_id=m.checkpoint_id,
+            kind=m.kind,
+            base_id=m.base_id,
+            interval_index=m.interval_index,
+            quantizer=m.quantizer,
+            bit_width=m.bit_width,
+            logical_bytes=m.logical_bytes,
+            rows_stored=m.embedding_rows_stored,
+            valid_at_s=m.valid_at_s,
+        )
+        for m in sorted(
+            manifests.values(), key=lambda m: m.interval_index
+        )
+    ]
+
+
+def scrub_checkpoint(
+    store: ObjectStore, manifest: CheckpointManifest
+) -> ScrubReport:
+    """CRC-verify every chunk and the dense blob of one checkpoint."""
+    report = ScrubReport()
+    keys = [
+        chunk.key
+        for shard in manifest.shards
+        for chunk in shard.chunks
+    ]
+    if manifest.dense_key:
+        keys.append(manifest.dense_key)
+    for key in keys:
+        blob = store.backend.read(key)
+        report.objects_checked += 1
+        report.bytes_checked += len(blob)
+        try:
+            decode_frames(blob)
+        except SerializationError:
+            report.corrupt_keys.append(key)
+    return report
+
+
+def scrub_job(store: ObjectStore, job_id: str) -> ScrubReport:
+    """Scrub every checkpoint of a job; aggregates one report."""
+    prefix_seen: set[str] = set()
+    total = ScrubReport()
+    restorer = CheckpointRestorer.__new__(CheckpointRestorer)
+    restorer.store = store
+    restorer.clock = None  # type: ignore[assignment]
+    for manifest in CheckpointRestorer.list_manifests(
+        restorer, job_id
+    ).values():
+        prefix_seen.add(checkpoint_prefix(job_id, manifest.checkpoint_id))
+        partial = scrub_checkpoint(store, manifest)
+        total.objects_checked += partial.objects_checked
+        total.bytes_checked += partial.bytes_checked
+        total.corrupt_keys.extend(partial.corrupt_keys)
+    return total
+
+
+def format_summaries(summaries: list[CheckpointSummary]) -> str:
+    """Human-readable listing of checkpoint summaries."""
+    if not summaries:
+        return "(no checkpoints)"
+    header = (
+        f"{'checkpoint':14s} {'kind':12s} {'base':14s} {'ivl':>4s} "
+        f"{'quant':10s} {'bits':>4s} {'KiB':>9s} {'rows':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for s in summaries:
+        lines.append(
+            f"{s.checkpoint_id:14s} {s.kind:12s} "
+            f"{s.base_id or '-':14s} {s.interval_index:4d} "
+            f"{s.quantizer:10s} {s.bit_width:4d} "
+            f"{s.logical_bytes / 1024:9.1f} {s.rows_stored:9d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DataConfig, ModelConfig
+from repro.data.synthetic import SyntheticClickDataset
+from repro.experiments import build_experiment, small_config
+from repro.model.dlrm import DLRM
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_model_config() -> ModelConfig:
+    return ModelConfig(
+        num_tables=3,
+        rows_per_table=(64, 48, 32),
+        embedding_dim=8,
+        num_dense_features=5,
+        bottom_mlp=(8, 8),
+        top_mlp=(8, 1),
+        hotness=2,
+    )
+
+
+@pytest.fixture
+def tiny_data_config() -> DataConfig:
+    return DataConfig(batch_size=16)
+
+
+@pytest.fixture
+def tiny_dataset(tiny_model_config, tiny_data_config):
+    return SyntheticClickDataset(tiny_model_config, tiny_data_config)
+
+
+@pytest.fixture
+def tiny_model(tiny_model_config) -> DLRM:
+    return DLRM(tiny_model_config)
+
+
+@pytest.fixture
+def trained_tensor(rng) -> np.ndarray:
+    """A value-distribution-realistic 2-D tensor for quantizer tests.
+
+    Normal bulk with occasional outlier elements, like trained
+    embedding rows.
+    """
+    base = rng.normal(0.0, 0.05, size=(256, 16)).astype(np.float32)
+    outlier_rows = rng.choice(256, size=32, replace=False)
+    outlier_cols = rng.integers(0, 16, size=32)
+    base[outlier_rows, outlier_cols] += rng.choice(
+        [-1.0, 1.0], size=32
+    ) * rng.uniform(0.3, 0.6, size=32).astype(np.float32)
+    return base
+
+
+@pytest.fixture
+def tiny_experiment():
+    """A fully wired seconds-scale experiment."""
+    return build_experiment(
+        small_config(
+            num_tables=3,
+            rows_per_table=512,
+            embedding_dim=8,
+            batch_size=32,
+            interval_batches=5,
+            num_nodes=1,
+            devices_per_node=2,
+        )
+    )

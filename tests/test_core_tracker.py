@@ -1,0 +1,132 @@
+"""Unit tests for modified-row tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tracker import ModifiedRowTracker, TrackerSet
+from repro.distributed.sharding import Shard, ShardingPlan, plan_row_wise
+from repro.distributed.topology import DeviceId, SimCluster
+from repro.config import ClusterConfig, ModelConfig
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def shard() -> Shard:
+    return Shard(0, 0, 100, 200, DeviceId(0, 0), 8)
+
+
+class TestModifiedRowTracker:
+    def test_marks_only_in_range_rows(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        newly = tracker.mark_table_rows(np.array([50, 100, 150, 250]))
+        assert newly == 2  # 100 and 150 fall in [100, 200)
+        np.testing.assert_array_equal(
+            tracker.modified_table_rows(), [100, 150]
+        )
+
+    def test_remarking_is_idempotent(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        tracker.mark_table_rows(np.array([110, 120]))
+        newly = tracker.mark_table_rows(np.array([110, 120, 130]))
+        assert newly == 1
+        assert tracker.modified_count == 3
+
+    def test_empty_mark(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        assert tracker.mark_table_rows(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_reset(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        tracker.mark_table_rows(np.array([105]))
+        tracker.reset()
+        assert tracker.modified_count == 0
+        assert tracker.fraction_modified == 0.0
+
+    def test_mark_all(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        tracker.mark_all()
+        assert tracker.fraction_modified == 1.0
+
+    def test_local_rows_offset(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        tracker.mark_table_rows(np.array([100, 199]))
+        np.testing.assert_array_equal(
+            tracker.modified_local_rows(), [0, 99]
+        )
+
+    def test_mask_copy_is_independent(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        tracker.mark_table_rows(np.array([100]))
+        mask = tracker.mask_copy()
+        tracker.reset()
+        assert mask[0]  # copy unaffected by reset
+
+    def test_load_mask_shape_check(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        with pytest.raises(SimulationError, match="shape"):
+            tracker.load_mask(np.zeros(5, dtype=bool))
+
+    def test_bitvector_memory_footprint(self, shard):
+        tracker = ModifiedRowTracker(shard)
+        assert tracker.bitvector_bytes == 13  # ceil(100 / 8)
+
+
+class TestTrackerSet:
+    @pytest.fixture
+    def plan_and_set(self):
+        config = ModelConfig(
+            num_tables=2,
+            rows_per_table=(100, 60),
+            embedding_dim=8,
+            bottom_mlp=(16, 8),
+            top_mlp=(8, 1),
+        )
+        cluster = SimCluster(ClusterConfig(num_nodes=1, devices_per_node=2))
+        plan = plan_row_wise(config, cluster)
+        return plan, TrackerSet(plan)
+
+    def test_mark_spans_shards(self, plan_and_set):
+        plan, tracker_set = plan_and_set
+        # Table 0 is split at row 50 across two devices.
+        tracker_set.mark_table_rows(0, np.array([10, 60]))
+        assert tracker_set.modified_rows == 2
+
+    def test_fraction_modified(self, plan_and_set):
+        _, tracker_set = plan_and_set
+        tracker_set.mark_table_rows(0, np.arange(100))
+        assert tracker_set.fraction_modified == pytest.approx(100 / 160)
+
+    def test_reset_all(self, plan_and_set):
+        _, tracker_set = plan_and_set
+        tracker_set.mark_table_rows(1, np.array([5]))
+        tracker_set.reset_all()
+        assert tracker_set.modified_rows == 0
+
+    def test_mask_copies_keyed_by_shard(self, plan_and_set):
+        plan, tracker_set = plan_and_set
+        masks = tracker_set.mask_copies()
+        assert set(masks) == {s.shard_id for s in plan.shards}
+
+    def test_step_hook_forward_proxy_superset(
+        self, tiny_experiment
+    ):
+        """Forward-proxy tracking marks at least the optimizer-updated
+        rows (the paper's proxy argument, section 5.1.1)."""
+        exp = tiny_experiment
+        exp.reader.begin_interval(3)
+        exact = TrackerSet(exp.plan, track_in_forward_pass=False)
+        proxy = exp.controller.tracker_set  # forward mode by default
+        exp.trainer.register_step_hook(exact.step_hook)
+        for _ in range(3):
+            exp.trainer.train_one_batch()
+        for shard_id, tracker in exact.trackers.items():
+            proxy_mask = proxy.trackers[shard_id].mask_copy()
+            exact_mask = tracker.mask_copy()
+            assert np.all(proxy_mask | ~exact_mask)  # proxy >= exact
+
+    def test_bitvector_total(self, plan_and_set):
+        _, tracker_set = plan_and_set
+        # 160 rows total across shards of 50/50/30/30.
+        assert tracker_set.bitvector_bytes == 7 + 7 + 4 + 4

@@ -1,0 +1,273 @@
+"""Unit tests: checkpoint writer, restore path, retention."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.manifest import KIND_FULL, KIND_INCREMENTAL
+from repro.core.policies import make_policy
+from repro.core.restore import CheckpointRestorer
+from repro.core.retention import RetentionManager
+from repro.core.snapshot import SnapshotManager
+from repro.core.writer import CheckpointWriter
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointNotFoundError,
+)
+from repro.quant import make_quantizer
+
+
+@pytest.fixture
+def ready(tiny_experiment):
+    """Experiment trained for one interval with a snapshot taken."""
+    exp = tiny_experiment
+    exp.reader.begin_interval(5)
+    exp.trainer.train_interval(5)
+    manager = SnapshotManager(exp.trainer, exp.clock)
+    snapshot = manager.take_snapshot(
+        0, exp.controller.tracker_set, exp.reader.collect_state()
+    )
+    writer = CheckpointWriter(exp.store, exp.clock)
+    restorer = CheckpointRestorer(exp.store, exp.clock)
+    return exp, snapshot, writer, restorer
+
+
+class TestWriter:
+    def test_full_checkpoint_stores_every_row(self, ready):
+        exp, snapshot, writer, _ = ready
+        manifest, report = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        total_rows = sum(s.rows for s in exp.plan.shards)
+        assert report.rows_written == total_rows
+        assert manifest.kind == KIND_FULL
+        assert exp.store.exists("job0/ckpt-0/manifest.json")
+
+    def test_incremental_stores_only_masked_rows(self, ready):
+        exp, snapshot, writer, _ = ready
+        modified = sum(
+            int(s.mask.sum()) for s in snapshot.shards.values()
+        )
+        assert 0 < modified < sum(s.rows for s in exp.plan.shards)
+        manifest, report = writer.write_checkpoint(
+            snapshot, KIND_INCREMENTAL, "ckpt-1", "job0", "ckpt-0",
+            "one_shot", make_quantizer("none"), chunk_rows=100,
+        )
+        assert report.rows_written == modified
+
+    def test_chunking_respects_chunk_rows(self, ready):
+        exp, snapshot, writer, _ = ready
+        manifest, report = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=64,
+        )
+        for shard_record in manifest.shards:
+            for chunk in shard_record.chunks:
+                assert chunk.row_count <= 64
+
+    def test_quantization_reduces_bytes(self, ready):
+        exp, snapshot, writer, _ = ready
+        _, fp32 = writer.write_checkpoint(
+            snapshot, KIND_FULL, "a", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=1000,
+        )
+        _, q4 = writer.write_checkpoint(
+            snapshot, KIND_FULL, "b", "job0", None, "full",
+            make_quantizer("asymmetric", bits=4), chunk_rows=1000,
+        )
+        # At embedding dim 8 the per-row (xmin, xmax) metadata caps the
+        # gain near 2x (the paper's section 6.3.2 caveat: savings are
+        # sub-linear in bit width because of metadata).
+        assert q4.logical_bytes < fp32.logical_bytes / 1.9
+
+    def test_manifest_written_last_gates_validity(self, ready):
+        exp, snapshot, writer, _ = ready
+        manifest, report = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        chunk_ends = [
+            t.end_s
+            for t in exp.store.log.transfers("put")
+            if "chunk" in t.key or "dense" in t.key
+        ]
+        assert manifest.valid_at_s >= max(chunk_ends)
+        assert report.valid_at_s == manifest.valid_at_s
+
+    def test_write_happens_in_background(self, ready):
+        """Validity lands later than the trigger: training would continue
+        while the storage link drains (decoupling, section 4.2)."""
+        exp, snapshot, writer, _ = ready
+        _, report = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        assert report.valid_at_s > exp.clock.now
+        assert report.pipeline_duration_s > 0
+
+    def test_bad_chunk_rows_rejected(self, ready):
+        _, snapshot, writer, _ = ready
+        with pytest.raises(CheckpointError):
+            writer.write_checkpoint(
+                snapshot, KIND_FULL, "c", "job0", None, "full",
+                make_quantizer("none"), chunk_rows=0,
+            )
+
+    def test_unknown_kind_rejected(self, ready):
+        _, snapshot, writer, _ = ready
+        with pytest.raises(CheckpointError, match="kind"):
+            writer.write_checkpoint(
+                snapshot, "differential", "c", "job0", None, "full",
+                make_quantizer("none"), chunk_rows=10,
+            )
+
+
+class TestRestore:
+    def test_full_roundtrip_fp32_is_exact(self, ready):
+        exp, snapshot, writer, restorer = ready
+        manifest, _ = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        expected = {
+            t: exp.model.table_weight(t).copy()
+            for t in range(exp.model.num_tables)
+        }
+        expected_accum = {
+            t: exp.model.table_accumulator(t).copy()
+            for t in range(exp.model.num_tables)
+        }
+        exp.model.reinitialize()
+        report = restorer.restore(
+            exp.model, manifest, {"ckpt-0": manifest}, reader=exp.reader
+        )
+        for t in range(exp.model.num_tables):
+            np.testing.assert_array_equal(
+                exp.model.table_weight(t), expected[t]
+            )
+            np.testing.assert_allclose(
+                exp.model.table_accumulator(t),
+                expected_accum[t],
+                rtol=1e-2,  # accumulator rides along 8-bit quantized
+                atol=1e-4,
+            )
+        assert report.chain_ids == ["ckpt-0"]
+        assert exp.model.batches_trained == 5
+
+    def test_quantized_roundtrip_bounded_error(self, ready):
+        exp, snapshot, writer, restorer = ready
+        manifest, _ = writer.write_checkpoint(
+            snapshot, KIND_FULL, "q", "job0", None, "full",
+            make_quantizer("asymmetric", bits=8), chunk_rows=100,
+        )
+        expected = exp.model.table_weight(0).copy()
+        exp.model.reinitialize()
+        restorer.restore(exp.model, manifest, {"q": manifest})
+        got = exp.model.table_weight(0)
+        row_range = expected.max(axis=1) - expected.min(axis=1)
+        np.testing.assert_array_less(
+            np.abs(got - expected).max(axis=1), row_range / 255 + 1e-6
+        )
+
+    def test_baseline_plus_increment_chain(self, tiny_experiment):
+        exp = tiny_experiment
+        manager = SnapshotManager(exp.trainer, exp.clock)
+        writer = CheckpointWriter(exp.store, exp.clock)
+        restorer = CheckpointRestorer(exp.store, exp.clock)
+        policy = make_policy("one_shot")
+
+        exp.reader.begin_interval(4)
+        exp.trainer.train_interval(4)
+        snap0 = manager.take_snapshot(
+            0, exp.controller.tracker_set, exp.reader.collect_state()
+        )
+        base, _ = writer.write_checkpoint(
+            snap0, KIND_FULL, "base", "job0", None, "one_shot",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        snap0.release(exp.trainer)
+        # one_shot: tracker keeps accumulating after the baseline.
+        exp.controller.tracker_set.reset_all()
+
+        exp.reader.begin_interval(4)
+        exp.trainer.train_interval(4)
+        snap1 = manager.take_snapshot(
+            1, exp.controller.tracker_set, exp.reader.collect_state()
+        )
+        inc, _ = writer.write_checkpoint(
+            snap1, KIND_INCREMENTAL, "inc", "job0", "base", "one_shot",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        snap1.release(exp.trainer)
+
+        expected = exp.model.table_weight(0).copy()
+        exp.model.reinitialize()
+        manifests = {"base": base, "inc": inc}
+        report = restorer.restore(
+            exp.model, inc, manifests, reader=exp.reader, policy=policy
+        )
+        assert report.chain_ids == ["base", "inc"]
+        np.testing.assert_array_equal(exp.model.table_weight(0), expected)
+        assert exp.model.batches_trained == 8
+        assert exp.reader.collect_state().next_batch_index == 8
+
+    def test_corrupt_chunk_detected(self, ready):
+        exp, snapshot, writer, restorer = ready
+        manifest, _ = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        chunk_key = manifest.shards[0].chunks[0].key
+        blob = bytearray(exp.store.backend.read(chunk_key))
+        blob[len(blob) // 2] ^= 0xFF
+        exp.store.backend.write(chunk_key, bytes(blob))
+        with pytest.raises(CheckpointCorruptError):
+            restorer.restore(exp.model, manifest, {"ckpt-0": manifest})
+
+    def test_latest_valid_respects_time(self, ready):
+        exp, snapshot, writer, restorer = ready
+        manifest, report = writer.write_checkpoint(
+            snapshot, KIND_FULL, "ckpt-0", "job0", None, "full",
+            make_quantizer("none"), chunk_rows=100,
+        )
+        # Before the write completes: nothing valid.
+        assert restorer.latest_valid("job0", at_time_s=exp.clock.now) is None
+        # After: the checkpoint is found.
+        found = restorer.latest_valid(
+            "job0", at_time_s=report.valid_at_s + 1
+        )
+        assert found is not None
+        assert found.checkpoint_id == "ckpt-0"
+
+    def test_missing_manifest(self, ready):
+        _, _, _, restorer = ready
+        with pytest.raises(CheckpointNotFoundError):
+            restorer.load_manifest("job0", "ghost")
+
+
+class TestRetention:
+    def test_keeps_last_and_protects_bases(self, tiny_experiment):
+        exp = tiny_experiment
+        exp.controller.config  # uses default keep_last=2
+        controller = exp.controller
+        controller.run_intervals(4)
+        manager = RetentionManager(exp.store, keep_last=1)
+        manifests = dict(controller.manifests)
+        policy = controller.policy
+        report = manager.enforce(manifests, policy, "job0")
+        # Whatever was deleted, the newest checkpoint's chain survives.
+        newest = max(manifests.values(), key=lambda m: m.interval_index)
+        chain = policy.restore_chain(newest, manifests)
+        for link in chain:
+            assert exp.store.exists(
+                f"job0/{link.checkpoint_id}/manifest.json"
+            )
+        for deleted in report.deleted_ids:
+            assert not exp.store.list_keys(f"job0/{deleted}/")
+
+    def test_invalid_keep_last(self, tiny_experiment):
+        with pytest.raises(CheckpointError):
+            RetentionManager(tiny_experiment.store, keep_last=0)

@@ -1,0 +1,199 @@
+"""Tests for the experiment drivers behind the benches (scaled down)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.experiments import (
+    accuracy_degradation_experiment,
+    adaptive_bins_sweep,
+    adaptive_ratio_sweep,
+    interval_modified_experiment,
+    modified_fraction_experiment,
+    optimal_bins,
+    quant_error_comparison,
+    snapshot_stall_at_scale,
+    tracking_overhead_experiment,
+    trained_embedding_matrix,
+)
+from repro.experiments.incremental import incremental_policy_experiment
+from repro.experiments.overall import overall_reduction_experiment
+
+
+class TestModifiedDrivers:
+    def test_fig5_driver_shapes(self):
+        curves = modified_fraction_experiment(
+            rows=2000, lookups_per_step=500, total_steps=12,
+            starts=(0, 4, 8),
+        )
+        assert len(curves) == 3
+        origin = curves[0]
+        assert len(origin.fractions) == 12
+        # Monotone growth of the touched fraction.
+        assert list(origin.fractions) == sorted(origin.fractions)
+        # Later-start curves observe fewer steps.
+        assert len(curves[1].fractions) == 8
+        assert len(curves[2].fractions) == 4
+
+    def test_fig5_invalid_starts(self):
+        with pytest.raises(SimulationError, match="starts"):
+            modified_fraction_experiment(total_steps=5, starts=(7,))
+
+    def test_fig6_driver_shapes(self):
+        results = interval_modified_experiment(
+            rows=2000, lookups_per_minute=200, total_minutes=60,
+            interval_minutes=(10, 30),
+        )
+        assert [r.interval_steps for r in results] == [10, 30]
+        # 6 windows of 10 minutes, 2 windows of 30 minutes.
+        assert len(results[0].fractions) == 6
+        assert len(results[1].fractions) == 2
+        assert results[1].mean_fraction > results[0].mean_fraction
+
+    def test_fig6_run_too_short(self):
+        with pytest.raises(SimulationError, match="shorter"):
+            interval_modified_experiment(
+                total_minutes=20, interval_minutes=(30,)
+            )
+
+
+class TestQuantDrivers:
+    @pytest.fixture(scope="class")
+    def tensor(self):
+        return trained_embedding_matrix(
+            rows=512, dim=8, train_batches=40, num_tables=2, seed=5
+        )
+
+    def test_fig9_driver(self, tensor):
+        rows = quant_error_comparison(
+            tensor, bit_widths=(2, 4), kmeans_iterations=3
+        )
+        assert len(rows) == 8  # 2 widths x 4 methods
+        by_key = {(r.method, r.bits): r.mean_l2 for r in rows}
+        assert by_key[("asymmetric", 2)] < by_key[("symmetric", 2)]
+
+    def test_fig10_fig11_drivers(self, tensor):
+        points = adaptive_bins_sweep(
+            tensor, bit_widths=(2,), bins_values=(5, 15)
+        )
+        assert len(points) == 2
+        best = optimal_bins(points, 2)
+        assert best in (5, 15)
+        ratio_points = adaptive_ratio_sweep(
+            tensor, {2: best}, ratios=(0.5, 1.0)
+        )
+        assert len(ratio_points) == 2
+        assert all(p.improvement >= -1e-9 for p in ratio_points)
+
+    def test_trained_matrix_cached(self):
+        a = trained_embedding_matrix(
+            rows=256, dim=8, train_batches=10, num_tables=2, seed=9
+        )
+        b = trained_embedding_matrix(
+            rows=256, dim=8, train_batches=10, num_tables=2, seed=9
+        )
+        assert a is b  # cache hit
+
+    def test_trained_matrix_learns(self):
+        """The fixture must differ from a fresh init (it trained)."""
+        from repro.config import ModelConfig
+        from repro.model.dlrm import DLRM
+
+        trained = trained_embedding_matrix(
+            rows=256, dim=8, train_batches=30, num_tables=2, seed=10
+        )
+        fresh = DLRM(
+            ModelConfig(
+                num_tables=2,
+                rows_per_table=(256, 256),
+                embedding_dim=8,
+                bottom_mlp=(16, 8),
+                top_mlp=(16, 1),
+                seed=10,
+            )
+        )
+        fresh_matrix = np.concatenate(
+            [fresh.table_weight(t) for t in range(2)], axis=0
+        )
+        assert not np.allclose(trained, fresh_matrix)
+
+
+class TestAccuracyDriver:
+    def test_small_panel(self):
+        curves = accuracy_degradation_experiment(
+            bits=2,
+            restore_counts=(1,),
+            total_batches=40,
+            grid_every=20,
+            seeds=(3,),
+        )
+        assert len(curves) == 1
+        assert len(curves[0].points) == 2
+        assert curves[0].bits == 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            accuracy_degradation_experiment(2, (1,), total_batches=0)
+        with pytest.raises(SimulationError):
+            accuracy_degradation_experiment(2, (1,), seeds=())
+
+
+class TestIncrementalDriver:
+    def test_small_run_structure(self):
+        runs = incremental_policy_experiment(
+            policies=("one_shot", "consecutive"),
+            num_intervals=3,
+            interval_batches=4,
+            rows_per_table=1024,
+            num_tables=2,
+        )
+        assert [r.policy for r in runs] == ["one_shot", "consecutive"]
+        for run in runs:
+            assert len(run.size_fractions) == 3
+            assert run.size_fractions[0] == pytest.approx(1.0)
+            assert run.kinds[0] == "full"
+
+    def test_needs_two_intervals(self):
+        with pytest.raises(SimulationError):
+            incremental_policy_experiment(num_intervals=1)
+
+
+class TestOverallDriver:
+    def test_small_run(self):
+        rows = overall_reduction_experiment(
+            num_intervals=3,
+            interval_batches=4,
+            rows_per_table=2048,
+            num_tables=2,
+            bands=(("L <= 1", 1),),
+        )
+        assert len(rows) == 1
+        assert rows[0].bit_width == 2
+        assert rows[0].bandwidth_reduction > 1.0
+        assert rows[0].capacity_reduction > 1.0
+
+
+class TestStallDriver:
+    def test_stall_scales_with_model(self):
+        from repro.config import GiB
+
+        small = snapshot_stall_at_scale(64 * GiB)
+        large = snapshot_stall_at_scale(2048 * GiB)
+        assert large.stall_s > small.stall_s
+        assert 0 < small.overhead_fraction < 1
+
+    def test_paper_regime(self):
+        from repro.config import GiB
+
+        row = snapshot_stall_at_scale(1024 * GiB)
+        assert row.stall_s < 7.0  # the paper's bound
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            snapshot_stall_at_scale(0)
+
+    def test_tracking_overhead_small(self):
+        result = tracking_overhead_experiment(batches=10)
+        assert 0 <= result.overhead_fraction < 0.05

@@ -1,0 +1,201 @@
+"""Unit tests for accounting, accuracy, growth, latency metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.errors import ConfigError, SimulationError, TrainingError
+from repro.metrics.accounting import (
+    average_write_bandwidth,
+    capacity_fractions_at,
+    interval_size_fractions,
+    peak_capacity,
+    reduction_summary,
+)
+from repro.metrics.accuracy import (
+    degradation_percent,
+    evaluate,
+    within_threshold,
+)
+from repro.metrics.growth import growth_factor, model_growth_trace
+from repro.metrics.latency import LatencyModel
+from repro.storage.object_store import CapacityPoint
+
+
+def write_report(logical: int, start: float = 0.0, end: float = 1.0):
+    from repro.core.writer import WriteReport
+
+    return WriteReport(
+        checkpoint_id="c",
+        kind="full",
+        logical_bytes=logical,
+        physical_bytes=logical * 3,
+        rows_written=1,
+        num_chunks=1,
+        quantize_sim_s=0.0,
+        measured_quantize_s=0.0,
+        started_at_s=start,
+        valid_at_s=end,
+    )
+
+
+class TestAccounting:
+    def test_interval_fractions(self):
+        reports = [write_report(50), write_report(25)]
+        assert interval_size_fractions(reports, 100) == [0.5, 0.25]
+
+    def test_average_bandwidth(self):
+        reports = [write_report(100), write_report(300)]
+        assert average_write_bandwidth(reports, 4.0) == 100.0
+
+    def test_capacity_fractions_step_function(self):
+        series = [
+            CapacityPoint(0.0, 0, 0),
+            CapacityPoint(1.0, 100, 300),
+            CapacityPoint(2.0, 50, 150),
+        ]
+        fractions = capacity_fractions_at(series, [0.5, 1.5, 3.0], 100)
+        assert fractions == [0.0, 1.0, 0.5]
+
+    def test_peak_capacity(self):
+        series = [
+            CapacityPoint(0.0, 10, 30),
+            CapacityPoint(1.0, 90, 270),
+            CapacityPoint(2.0, 40, 120),
+        ]
+        assert peak_capacity(series) == 90
+
+    def test_reduction_summary(self):
+        baseline = [write_report(1000)] * 4
+        variant = [write_report(100)] * 4
+        base_cap = [CapacityPoint(0.0, 2000, 6000)]
+        var_cap = [CapacityPoint(0.0, 250, 750)]
+        summary = reduction_summary(
+            baseline, base_cap, variant, var_cap, duration_s=10.0
+        )
+        assert summary.avg_bandwidth_reduction == pytest.approx(10.0)
+        assert summary.peak_capacity_reduction == pytest.approx(8.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            interval_size_fractions([], 0)
+        with pytest.raises(SimulationError):
+            average_write_bandwidth([], 0.0)
+
+
+class TestAccuracyMetrics:
+    def test_evaluate_on_trained_model(self, tiny_model, tiny_dataset):
+        for i in range(30):
+            tiny_model.train_step(tiny_dataset.batch(i))
+        result = evaluate(tiny_model, tiny_dataset.eval_batches(4))
+        assert 0 < result.log_loss < 2.0
+        assert 0 < result.normalized_entropy < 1.5
+        assert 0.4 < result.auc <= 1.0
+        assert result.num_samples == 4 * 16
+
+    def test_training_improves_ne(self, tiny_model_config, tiny_dataset):
+        from repro.model.dlrm import DLRM
+
+        fresh = DLRM(tiny_model_config)
+        eval_batches = tiny_dataset.eval_batches(4)
+        before = evaluate(fresh, eval_batches)
+        for i in range(60):
+            fresh.train_step(tiny_dataset.batch(i))
+        after = evaluate(fresh, eval_batches)
+        assert after.normalized_entropy < before.normalized_entropy
+
+    def test_degradation_sign(self, tiny_model, tiny_dataset):
+        for i in range(10):
+            tiny_model.train_step(tiny_dataset.batch(i))
+        result = evaluate(tiny_model, tiny_dataset.eval_batches(2))
+        assert degradation_percent(result, result) == 0.0
+
+    def test_within_threshold(self):
+        assert within_threshold(0.005)
+        assert not within_threshold(0.02)
+
+    def test_empty_eval_rejected(self, tiny_model):
+        with pytest.raises(TrainingError):
+            evaluate(tiny_model, [])
+
+
+class TestGrowth:
+    def test_reaches_target_factor(self):
+        trace = model_growth_trace(months=24, total_growth=3.2)
+        assert growth_factor(trace) == pytest.approx(3.2, rel=1e-6)
+        assert len(trace) == 25
+
+    def test_monotone(self):
+        trace = model_growth_trace()
+        sizes = [p.relative_size for p in trace]
+        assert sizes == sorted(sizes)
+
+    def test_paper_claim_exceeds_3x_in_2_years(self):
+        trace = model_growth_trace()
+        assert growth_factor(trace) > 3.0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            model_growth_trace(months=0)
+        with pytest.raises(SimulationError):
+            model_growth_trace(total_growth=0.9)
+
+
+class TestLatencyModel:
+    def test_paper_anchor_asymmetric(self):
+        """One full reference checkpoint: <= 126 s asymmetric."""
+        model = LatencyModel()
+        assert model.asymmetric_s(125_000_000_000) == pytest.approx(126.0)
+
+    def test_paper_anchor_adaptive_50_bins(self):
+        model = LatencyModel()
+        assert model.adaptive_s(
+            125_000_000_000, num_bins=50, ratio=1.0
+        ) == pytest.approx(126.0 + 49 / 50 * 474.0, rel=0.05)
+
+    def test_adaptive_grows_with_bins_and_ratio(self):
+        model = LatencyModel()
+        base = model.adaptive_s(10**9, 10, 1.0)
+        assert model.adaptive_s(10**9, 40, 1.0) > base
+        assert model.adaptive_s(10**9, 40, 0.25) < model.adaptive_s(
+            10**9, 40, 1.0
+        )
+
+    def test_kmeans_dwarfs_adaptive(self):
+        """The paper's 48-hour k-means verdict at reference scale."""
+        model = LatencyModel()
+        kmeans = model.kmeans_s(125_000_000_000, bits=4)
+        adaptive = model.adaptive_s(125_000_000_000, 50, 1.0)
+        assert kmeans > 100 * adaptive
+        assert kmeans == pytest.approx(48 * 3600.0, rel=0.01)
+
+    def test_dispatch(self):
+        model = LatencyModel()
+        for name in ("none", "symmetric", "asymmetric", "adaptive",
+                     "kmeans"):
+            assert model.for_quantizer(name, 1000) >= 0.0
+        with pytest.raises(ConfigError):
+            model.for_quantizer("magic", 1000)
+
+    def test_validation(self):
+        model = LatencyModel()
+        with pytest.raises(ConfigError):
+            model.asymmetric_s(-1)
+        with pytest.raises(ConfigError):
+            model.adaptive_s(10, 0, 1.0)
+
+
+class TestModelConfigHelpers:
+    def test_scaled(self):
+        config = ModelConfig(
+            num_tables=2,
+            rows_per_table=(100, 200),
+            embedding_dim=8,
+            bottom_mlp=(16, 8),
+            top_mlp=(8, 1),
+        )
+        scaled = config.scaled(2.0)
+        assert scaled.rows_per_table == (200, 400)
+        assert config.embedding_bytes * 2 == scaled.embedding_bytes

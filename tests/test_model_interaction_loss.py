@@ -1,0 +1,163 @@
+"""Unit tests for the dot interaction and the loss/metric functions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.model.interaction import DotInteraction
+from repro.model.loss import (
+    auc,
+    bce_grad,
+    bce_with_logits,
+    log_loss,
+    normalized_entropy,
+    sigmoid,
+)
+
+
+class TestDotInteraction:
+    def test_output_width(self):
+        inter = DotInteraction()
+        # T=3 tables + dense: C(4,2)=6 pairs + dim.
+        assert inter.output_width(num_tables=3, dim=8) == 8 + 6
+
+    def test_forward_values(self):
+        inter = DotInteraction()
+        dense = np.array([[1.0, 0.0]], dtype=np.float32)
+        e1 = np.array([[0.0, 1.0]], dtype=np.float32)
+        e2 = np.array([[1.0, 1.0]], dtype=np.float32)
+        out = inter.forward(dense, [e1, e2])
+        # Layout: [dense | (e1.dense), (e2.dense), (e2.e1)]
+        np.testing.assert_allclose(out[0, :2], [1.0, 0.0])
+        np.testing.assert_allclose(out[0, 2:], [0.0, 1.0, 1.0])
+
+    def test_requires_matching_shapes(self):
+        inter = DotInteraction()
+        dense = np.zeros((2, 4), dtype=np.float32)
+        bad = np.zeros((2, 5), dtype=np.float32)
+        with pytest.raises(TrainingError, match="shape"):
+            inter.forward(dense, [bad])
+
+    def test_requires_at_least_one_table(self):
+        with pytest.raises(TrainingError, match="at least one"):
+            DotInteraction().forward(np.zeros((1, 2), dtype=np.float32), [])
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(TrainingError):
+            DotInteraction().backward(np.zeros((1, 3), dtype=np.float32))
+
+    def test_gradients_numerically(self, rng):
+        inter = DotInteraction()
+        dense = rng.normal(size=(2, 3)).astype(np.float32)
+        embs = [
+            rng.normal(size=(2, 3)).astype(np.float32) for _ in range(2)
+        ]
+
+        def loss() -> float:
+            return float(np.sum(inter.forward(dense, embs) ** 2))
+
+        out = inter.forward(dense, embs)
+        grad_dense, grad_embs = inter.backward(
+            (2 * out).astype(np.float32)
+        )
+        eps = 1e-3
+
+        def check(arr: np.ndarray, grad: np.ndarray) -> None:
+            it = np.nditer(arr, flags=["multi_index"])
+            while not it.finished:
+                idx = it.multi_index
+                orig = arr[idx]
+                arr[idx] = orig + eps
+                up = loss()
+                arr[idx] = orig - eps
+                down = loss()
+                arr[idx] = orig
+                numeric = (up - down) / (2 * eps)
+                assert grad[idx] == pytest.approx(
+                    numeric, rel=3e-2, abs=2e-3
+                )
+                it.iternext()
+
+        check(dense, grad_dense)
+        for emb, grad in zip(embs, grad_embs):
+            check(emb, grad)
+
+
+class TestLoss:
+    def test_sigmoid_extremes_stable(self):
+        z = np.array([-500.0, 0.0, 500.0])
+        s = sigmoid(z)
+        assert s[0] == pytest.approx(0.0, abs=1e-12)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_bce_matches_reference(self, rng):
+        z = rng.normal(size=100)
+        y = (rng.random(100) > 0.5).astype(np.float32)
+        p = sigmoid(z)
+        reference = -np.mean(
+            y * np.log(p) + (1 - y) * np.log(1 - p)
+        )
+        assert bce_with_logits(z, y) == pytest.approx(reference, rel=1e-9)
+
+    def test_bce_stable_at_extreme_logits(self):
+        z = np.array([1000.0, -1000.0])
+        y = np.array([1.0, 0.0])
+        assert np.isfinite(bce_with_logits(z, y))
+        assert bce_with_logits(z, y) == pytest.approx(0.0, abs=1e-9)
+
+    def test_bce_grad_numerically(self, rng):
+        z = rng.normal(size=10)
+        y = (rng.random(10) > 0.5).astype(np.float32)
+        grad = bce_grad(z, y)
+        eps = 1e-5
+        for i in range(10):
+            zp = z.copy()
+            zp[i] += eps
+            zm = z.copy()
+            zm[i] -= eps
+            numeric = (
+                bce_with_logits(zp, y) - bce_with_logits(zm, y)
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError, match="mismatch"):
+            bce_with_logits(np.zeros(3), np.zeros(4))
+
+
+class TestMetrics:
+    def test_log_loss_perfect_predictions(self):
+        p = np.array([0.0, 1.0, 1.0])
+        y = np.array([0.0, 1.0, 1.0])
+        assert log_loss(p, y) < 1e-10
+
+    def test_normalized_entropy_of_base_rate_is_one(self, rng):
+        y = (rng.random(10_000) < 0.25).astype(np.float32)
+        base = np.full(y.size, y.mean())
+        assert normalized_entropy(base, y) == pytest.approx(1.0, rel=1e-3)
+
+    def test_normalized_entropy_rejects_degenerate_labels(self):
+        with pytest.raises(TrainingError, match="degenerate"):
+            normalized_entropy(np.array([0.5]), np.array([1.0]))
+
+    def test_auc_perfect_ranking(self):
+        p = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([0.0, 0.0, 1.0, 1.0])
+        assert auc(p, y) == pytest.approx(1.0)
+
+    def test_auc_random_is_half(self, rng):
+        p = rng.random(20_000)
+        y = (rng.random(20_000) > 0.5).astype(np.float32)
+        assert auc(p, y) == pytest.approx(0.5, abs=0.02)
+
+    def test_auc_handles_ties(self):
+        p = np.array([0.5, 0.5, 0.5, 0.5])
+        y = np.array([0.0, 1.0, 0.0, 1.0])
+        assert auc(p, y) == pytest.approx(0.5)
+
+    def test_auc_single_class_rejected(self):
+        with pytest.raises(TrainingError, match="both classes"):
+            auc(np.array([0.5, 0.6]), np.array([1.0, 1.0]))

@@ -1,0 +1,163 @@
+"""Unit tests for MLP layers, including numerical gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.model.mlp import MLP, Linear, ReLU
+
+
+def numerical_grad(f, x: np.ndarray, eps: float = 1e-4) -> np.ndarray:
+    """Central-difference gradient of scalar f w.r.t. x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer.forward(rng.normal(size=(8, 4)).astype(np.float32))
+        assert out.shape == (8, 3)
+
+    def test_bad_input_shape_rejected(self, rng):
+        layer = Linear(4, 3, rng)
+        with pytest.raises(TrainingError, match="shape"):
+            layer.forward(rng.normal(size=(8, 5)).astype(np.float32))
+
+    def test_backward_before_forward_rejected(self, rng):
+        layer = Linear(2, 2, rng)
+        with pytest.raises(TrainingError, match="before forward"):
+            layer.backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_weight_gradient_numerically(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+
+        def loss() -> float:
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        layer.backward((2 * out).astype(np.float32))
+        expected = numerical_grad(loss, layer.weight)
+        np.testing.assert_allclose(
+            layer.grad_weight, expected, rtol=1e-2, atol=1e-3
+        )
+
+    def test_bias_gradient_numerically(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3)).astype(np.float32)
+
+        def loss() -> float:
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        layer.backward((2 * out).astype(np.float32))
+        expected = numerical_grad(loss, layer.bias)
+        np.testing.assert_allclose(
+            layer.grad_bias, expected, rtol=1e-2, atol=1e-3
+        )
+
+    def test_input_gradient_numerically(self, rng):
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+
+        def loss() -> float:
+            return float(np.sum(layer.forward(x) ** 2))
+
+        out = layer.forward(x)
+        grad_in = layer.backward((2 * out).astype(np.float32))
+        expected = numerical_grad(loss, x)
+        np.testing.assert_allclose(grad_in, expected, rtol=1e-2, atol=1e-3)
+
+    def test_gradients_accumulate_until_zero_grad(self, rng):
+        layer = Linear(2, 2, rng)
+        x = rng.normal(size=(3, 2)).astype(np.float32)
+        g = np.ones((3, 2), dtype=np.float32)
+        layer.forward(x)
+        layer.backward(g)
+        first = layer.grad_weight.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.grad_weight, 2 * first)
+        layer.zero_grad()
+        assert np.all(layer.grad_weight == 0)
+
+
+class TestReLU:
+    def test_forward(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.0, 2.0]], dtype=np.float32)
+        np.testing.assert_array_equal(
+            relu.forward(x), [[0.0, 0.0, 2.0]]
+        )
+
+    def test_backward_masks(self):
+        relu = ReLU()
+        x = np.array([[-1.0, 0.5, 2.0]], dtype=np.float32)
+        relu.forward(x)
+        grad = relu.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0, 1.0]])
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(TrainingError):
+            ReLU().backward(np.zeros((1, 1), dtype=np.float32))
+
+
+class TestMLP:
+    def test_needs_two_sizes(self, rng):
+        with pytest.raises(TrainingError):
+            MLP((4,), rng)
+
+    def test_forward_shape(self, rng):
+        mlp = MLP((5, 8, 3), rng)
+        out = mlp.forward(rng.normal(size=(10, 5)).astype(np.float32))
+        assert out.shape == (10, 3)
+
+    def test_end_to_end_gradient(self, rng):
+        mlp = MLP((4, 6, 2), rng)
+        x = rng.normal(size=(3, 4)).astype(np.float32)
+
+        def loss() -> float:
+            return float(np.sum(mlp.forward(x) ** 2))
+
+        out = mlp.forward(x)
+        mlp.backward((2 * out).astype(np.float32))
+        for layer in mlp.linears:
+            expected = numerical_grad(loss, layer.weight)
+            np.testing.assert_allclose(
+                layer.grad_weight, expected, rtol=2e-2, atol=1e-3
+            )
+            layer.zero_grad()
+
+    def test_parameters_are_views(self, rng):
+        mlp = MLP((3, 4, 1), rng)
+        params = mlp.parameters("p")
+        params["p.0.weight"][0, 0] = 123.0
+        assert mlp.linears[0].weight[0, 0] == 123.0
+
+    def test_load_parameters_roundtrip(self, rng):
+        a = MLP((3, 4, 1), rng)
+        b = MLP((3, 4, 1), np.random.default_rng(999))
+        b.load_parameters("p", a.parameters("p"))
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_shape_mismatch_rejected(self, rng):
+        a = MLP((3, 4, 1), rng)
+        bad = {k: np.zeros((9, 9), dtype=np.float32)
+               for k in a.parameters("p")}
+        with pytest.raises(TrainingError, match="mismatch"):
+            a.load_parameters("p", bad)

@@ -1,0 +1,215 @@
+"""Unit tests for optimizers and the assembled DLRM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.model.dlrm import DLRM
+from repro.model.embedding import EmbeddingTable, SparseGrad
+from repro.model.optim import (
+    DenseAdagrad,
+    DenseSGD,
+    SparseRowWiseAdagrad,
+    SparseSGD,
+)
+
+
+class TestDenseOptimizers:
+    def test_sgd_update(self):
+        p = {"w": np.array([1.0, 2.0], dtype=np.float32)}
+        g = {"w": np.array([0.5, -0.5], dtype=np.float32)}
+        DenseSGD(learning_rate=0.1).step(p, g)
+        np.testing.assert_allclose(p["w"], [0.95, 2.05])
+
+    def test_adagrad_scales_by_history(self):
+        opt = DenseAdagrad(learning_rate=1.0, eps=0.0)
+        p = {"w": np.array([0.0], dtype=np.float32)}
+        g = {"w": np.array([2.0], dtype=np.float32)}
+        opt.step(p, g)  # accum=4, update = 2/2 = 1
+        np.testing.assert_allclose(p["w"], [-1.0])
+        opt.step(p, g)  # accum=8, update = 2/sqrt(8)
+        np.testing.assert_allclose(p["w"], [-1.0 - 2 / np.sqrt(8)])
+
+    def test_adagrad_state_roundtrip(self):
+        opt = DenseAdagrad()
+        p = {"w": np.ones(3, dtype=np.float32)}
+        g = {"w": np.ones(3, dtype=np.float32)}
+        opt.step(p, g)
+        state = opt.state_dict()
+        fresh = DenseAdagrad()
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.state_dict()["w"], state["w"])
+
+    def test_sgd_rejects_state(self):
+        with pytest.raises(TrainingError):
+            DenseSGD().load_state_dict({"x": np.zeros(1)})
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(TrainingError):
+            DenseSGD(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            DenseAdagrad(learning_rate=-1.0)
+
+
+class TestSparseOptimizers:
+    @pytest.fixture
+    def table(self, rng):
+        return EmbeddingTable(rows=16, dim=4, rng=rng)
+
+    def test_rowwise_adagrad_only_touches_given_rows(self, table):
+        opt = SparseRowWiseAdagrad(table, learning_rate=0.1)
+        before = table.weight.copy()
+        grad = SparseGrad(
+            rows=np.array([2, 5]),
+            values=np.ones((2, 4), dtype=np.float32),
+        )
+        modified = opt.step(grad)
+        np.testing.assert_array_equal(modified, [2, 5])
+        untouched = np.delete(np.arange(16), [2, 5])
+        np.testing.assert_array_equal(
+            table.weight[untouched], before[untouched]
+        )
+        assert not np.allclose(table.weight[2], before[2])
+
+    def test_rowwise_accumulator_uses_mean_square(self, table):
+        opt = SparseRowWiseAdagrad(table, learning_rate=0.1)
+        values = np.array([[1.0, 2.0, 3.0, 4.0]], dtype=np.float32)
+        opt.step(SparseGrad(rows=np.array([3]), values=values))
+        expected = np.mean(values**2)
+        assert opt.accumulator[3] == pytest.approx(expected)
+        assert opt.accumulator[0] == 0.0
+
+    def test_empty_grad_is_noop(self, table):
+        opt = SparseRowWiseAdagrad(table)
+        before = table.weight.copy()
+        opt.step(
+            SparseGrad(
+                rows=np.zeros(0, dtype=np.int64),
+                values=np.zeros((0, 4), dtype=np.float32),
+            )
+        )
+        np.testing.assert_array_equal(table.weight, before)
+
+    def test_state_roundtrip(self, table):
+        opt = SparseRowWiseAdagrad(table)
+        opt.step(
+            SparseGrad(
+                rows=np.array([1]),
+                values=np.ones((1, 4), dtype=np.float32),
+            )
+        )
+        state = opt.state_dict()
+        opt2 = SparseRowWiseAdagrad(table)
+        opt2.load_state_dict(state)
+        np.testing.assert_array_equal(opt2.accumulator, opt.accumulator)
+
+    def test_state_shape_mismatch_rejected(self, table, rng):
+        other = EmbeddingTable(rows=8, dim=4, rng=rng)
+        opt = SparseRowWiseAdagrad(table)
+        with pytest.raises(TrainingError, match="mismatch"):
+            opt.load_state_dict(
+                SparseRowWiseAdagrad(other).state_dict()
+            )
+
+    def test_sparse_sgd(self, table):
+        opt = SparseSGD(table, learning_rate=0.5)
+        before = table.weight[7].copy()
+        opt.step(
+            SparseGrad(
+                rows=np.array([7]),
+                values=np.ones((1, 4), dtype=np.float32),
+            )
+        )
+        np.testing.assert_allclose(table.weight[7], before - 0.5)
+
+
+class TestDLRM:
+    def test_deterministic_construction(self, tiny_model_config):
+        a = DLRM(tiny_model_config)
+        b = DLRM(tiny_model_config)
+        np.testing.assert_array_equal(a.table_weight(0), b.table_weight(0))
+        for name, arr in a.dense_parameters().items():
+            np.testing.assert_array_equal(arr, b.dense_parameters()[name])
+
+    def test_training_reduces_loss(self, tiny_model, tiny_dataset):
+        losses = [
+            tiny_model.train_step(tiny_dataset.batch(i)).loss
+            for i in range(60)
+        ]
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_step_reports_touched_rows(self, tiny_model, tiny_dataset):
+        batch = tiny_dataset.batch(0)
+        result = tiny_model.train_step(batch)
+        for table_id, rows in result.touched_rows.items():
+            looked_up = np.unique(batch.sparse[table_id])
+            np.testing.assert_array_equal(rows, looked_up)
+
+    def test_untouched_rows_unchanged(self, tiny_model, tiny_dataset):
+        batch = tiny_dataset.batch(0)
+        before = tiny_model.table_weight(0).copy()
+        result = tiny_model.train_step(batch)
+        touched = result.touched_rows[0]
+        untouched = np.setdiff1d(np.arange(before.shape[0]), touched)
+        np.testing.assert_array_equal(
+            tiny_model.table_weight(0)[untouched], before[untouched]
+        )
+
+    def test_dense_state_roundtrip(self, tiny_model_config, tiny_dataset):
+        a = DLRM(tiny_model_config)
+        for i in range(5):
+            a.train_step(tiny_dataset.batch(i))
+        state = a.dense_state()
+        b = DLRM(tiny_model_config)
+        b.load_dense_state(state)
+        for name, arr in a.dense_parameters().items():
+            np.testing.assert_array_equal(arr, b.dense_parameters()[name])
+        # With embeddings copied over too, predictions must agree.
+        for t in range(a.num_tables):
+            np.copyto(b.table_weight(t), a.table_weight(t))
+        batch = tiny_dataset.batch(100)
+        np.testing.assert_allclose(
+            a.predict_proba(batch), b.predict_proba(batch), rtol=1e-6
+        )
+
+    def test_load_table_rows(self, tiny_model):
+        rows = np.array([1, 3])
+        weights = np.full((2, 8), 7.0, dtype=np.float32)
+        accum = np.array([0.5, 0.25], dtype=np.float32)
+        tiny_model.load_table_rows(0, rows, weights, accum)
+        np.testing.assert_array_equal(tiny_model.table_weight(0)[1], weights[0])
+        assert tiny_model.table_accumulator(0)[3] == 0.25
+
+    def test_load_table_rows_shape_mismatch(self, tiny_model):
+        with pytest.raises(TrainingError, match="mismatch"):
+            tiny_model.load_table_rows(
+                0, np.array([0]), np.zeros((2, 8), dtype=np.float32)
+            )
+
+    def test_reinitialize_restores_initial_state(
+        self, tiny_model_config, tiny_dataset
+    ):
+        model = DLRM(tiny_model_config)
+        pristine = DLRM(tiny_model_config)
+        for i in range(5):
+            model.train_step(tiny_dataset.batch(i))
+        model.reinitialize()
+        np.testing.assert_array_equal(
+            model.table_weight(0), pristine.table_weight(0)
+        )
+        assert model.batches_trained == 0
+        assert np.all(model.table_accumulator(0) == 0)
+
+    def test_total_nbytes_counts_all_state(self, tiny_model):
+        emb = tiny_model.embedding_nbytes
+        assert tiny_model.total_nbytes > emb  # + accum + dense
+
+    def test_predict_proba_has_no_side_effects(
+        self, tiny_model, tiny_dataset
+    ):
+        batch = tiny_dataset.batch(0)
+        tiny_model.predict_proba(batch)
+        # A training step afterwards must work (caches were cleared).
+        tiny_model.train_step(tiny_dataset.batch(1))

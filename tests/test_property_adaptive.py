@@ -1,0 +1,84 @@
+"""Property-based tests on the adaptive greedy range search."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant.adaptive import greedy_range_search
+from repro.quant.uniform import quantization_l2_per_row
+
+tensors = hnp.arrays(
+    np.float32,
+    st.tuples(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=2, max_value=16),
+    ),
+    elements=st.floats(
+        min_value=-10.0, max_value=10.0, width=32,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+
+
+@given(
+    tensor=tensors,
+    bits=st.sampled_from([2, 3, 4]),
+    num_bins=st.integers(min_value=1, max_value=30),
+    ratio=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_search_never_loses_to_naive(tensor, bits, num_bins, ratio):
+    """The untightened range is always a candidate, so the searched
+    error can never exceed the naive asymmetric error."""
+    xmin = tensor.min(axis=1).astype(np.float32)
+    xmax = tensor.max(axis=1).astype(np.float32)
+    naive = quantization_l2_per_row(tensor, xmin, xmax, bits)
+    result = greedy_range_search(tensor, bits, num_bins, ratio)
+    assert np.all(result.errors <= naive + 1e-6)
+
+
+@given(
+    tensor=tensors,
+    bits=st.sampled_from([2, 4]),
+    num_bins=st.integers(min_value=2, max_value=25),
+)
+@settings(max_examples=60, deadline=None)
+def test_searched_bounds_stay_inside_original_range(
+    tensor, bits, num_bins
+):
+    result = greedy_range_search(tensor, bits, num_bins, 1.0)
+    row_min = tensor.min(axis=1)
+    row_max = tensor.max(axis=1)
+    assert np.all(result.xmin >= row_min - 1e-5)
+    assert np.all(result.xmax <= row_max + 1e-5)
+    assert np.all(result.xmax >= result.xmin - 1e-6)
+
+
+@given(
+    tensor=tensors,
+    bits=st.sampled_from([2, 3]),
+    num_bins=st.integers(min_value=2, max_value=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_reported_error_matches_reported_bounds(tensor, bits, num_bins):
+    """The search's error output must equal re-quantizing with the
+    bounds it returned (no stale-state bugs)."""
+    result = greedy_range_search(tensor, bits, num_bins, 1.0)
+    recomputed = quantization_l2_per_row(
+        tensor, result.xmin, result.xmax, bits
+    )
+    np.testing.assert_allclose(
+        result.errors, recomputed, rtol=1e-5, atol=1e-6
+    )
+
+
+@given(tensor=tensors, bits=st.sampled_from([2, 4]))
+@settings(max_examples=40, deadline=None)
+def test_search_deterministic(tensor, bits):
+    a = greedy_range_search(tensor, bits, 10, 1.0)
+    b = greedy_range_search(tensor, bits, 10, 1.0)
+    np.testing.assert_array_equal(a.xmin, b.xmin)
+    np.testing.assert_array_equal(a.xmax, b.xmax)

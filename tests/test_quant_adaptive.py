@@ -1,0 +1,125 @@
+"""Unit tests for adaptive asymmetric quantization (greedy search)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import mean_l2_error
+from repro.quant.adaptive import (
+    AdaptiveAsymmetricQuantizer,
+    greedy_range_search,
+)
+from repro.quant.uniform import AsymmetricQuantizer
+
+
+@pytest.fixture
+def outlier_tensor(rng) -> np.ndarray:
+    """Rows whose range is stretched by one large outlier element —
+    the exact case the adaptive method targets (section 5.2 A3)."""
+    x = rng.normal(0.0, 0.02, size=(256, 32)).astype(np.float32)
+    x[:, 0] += 1.0  # every row has one far-out element
+    return x
+
+
+class TestGreedySearch:
+    def test_never_worse_than_naive(self, outlier_tensor):
+        for bits in (2, 3, 4):
+            naive = mean_l2_error(
+                outlier_tensor,
+                AsymmetricQuantizer(bits).roundtrip(outlier_tensor),
+            )
+            result = greedy_range_search(outlier_tensor, bits, 25, 1.0)
+            assert float(np.mean(result.errors)) <= naive + 1e-9
+
+    def test_improves_on_outlier_rows(self, outlier_tensor):
+        """At low bit-widths the tightened range must strictly win."""
+        naive = mean_l2_error(
+            outlier_tensor,
+            AsymmetricQuantizer(2).roundtrip(outlier_tensor),
+        )
+        result = greedy_range_search(outlier_tensor, 2, 25, 1.0)
+        assert float(np.mean(result.errors)) < naive * 0.9
+
+    def test_range_stays_within_original(self, outlier_tensor):
+        result = greedy_range_search(outlier_tensor, 2, 25, 1.0)
+        row_min = outlier_tensor.min(axis=1)
+        row_max = outlier_tensor.max(axis=1)
+        assert np.all(result.xmin >= row_min - 1e-6)
+        assert np.all(result.xmax <= row_max + 1e-6)
+        assert np.all(result.xmax >= result.xmin)
+
+    def test_iteration_count_follows_bins_and_ratio(self, outlier_tensor):
+        r1 = greedy_range_search(outlier_tensor, 4, 20, 1.0)
+        r2 = greedy_range_search(outlier_tensor, 4, 20, 0.5)
+        assert r1.iterations == 19  # capped at num_bins - 1
+        assert r2.iterations == 10
+
+    def test_more_bins_never_hurt(self, outlier_tensor):
+        errors = []
+        for bins in (5, 15, 30, 45):
+            result = greedy_range_search(outlier_tensor, 2, bins, 1.0)
+            errors.append(float(np.mean(result.errors)))
+        # Finer steps explore a superset of coarse candidates only
+        # approximately, but the trend must be non-increasing overall.
+        assert errors[-1] <= errors[0]
+
+    def test_bad_parameters_rejected(self, outlier_tensor):
+        with pytest.raises(QuantizationError, match="num_bins"):
+            greedy_range_search(outlier_tensor, 4, 0, 1.0)
+        with pytest.raises(QuantizationError, match="ratio"):
+            greedy_range_search(outlier_tensor, 4, 10, 0.0)
+        with pytest.raises(QuantizationError, match="ratio"):
+            greedy_range_search(outlier_tensor, 4, 10, 1.5)
+
+
+class TestAdaptiveQuantizer:
+    def test_roundtrip_shapes(self, outlier_tensor):
+        q = AdaptiveAsymmetricQuantizer(4, num_bins=10)
+        out = q.roundtrip(outlier_tensor)
+        assert out.shape == outlier_tensor.shape
+
+    def test_beats_naive_asymmetric_at_low_bits(self, outlier_tensor):
+        for bits in (2, 3):
+            naive = mean_l2_error(
+                outlier_tensor,
+                AsymmetricQuantizer(bits).roundtrip(outlier_tensor),
+            )
+            adaptive = mean_l2_error(
+                outlier_tensor,
+                AdaptiveAsymmetricQuantizer(
+                    bits, num_bins=25
+                ).roundtrip(outlier_tensor),
+            )
+            assert adaptive < naive
+
+    def test_stores_min_and_max(self, outlier_tensor):
+        qt = AdaptiveAsymmetricQuantizer(4).quantize(outlier_tensor)
+        assert set(qt.params) == {"xmin", "xmax"}
+        assert qt.quantizer == "adaptive"
+
+    def test_identical_inputs_identical_outputs(self, outlier_tensor):
+        """The greedy search is deterministic."""
+        q = AdaptiveAsymmetricQuantizer(3, num_bins=20, ratio=0.8)
+        a = q.quantize(outlier_tensor)
+        b = q.quantize(outlier_tensor)
+        np.testing.assert_array_equal(a.codes, b.codes)
+        np.testing.assert_array_equal(a.params["xmin"], b.params["xmin"])
+
+    def test_constant_rows_handled(self):
+        x = np.full((4, 8), 1.5, dtype=np.float32)
+        q = AdaptiveAsymmetricQuantizer(2, num_bins=10)
+        np.testing.assert_allclose(q.roundtrip(x), x, atol=1e-6)
+
+    def test_single_column_tensor(self, rng):
+        x = rng.normal(size=(16, 1)).astype(np.float32)
+        out = AdaptiveAsymmetricQuantizer(4, num_bins=5).roundtrip(x)
+        # One element per row: min == max == value, exact recovery.
+        np.testing.assert_allclose(out, x, atol=1e-6)
+
+    def test_invalid_constructor_params(self):
+        with pytest.raises(QuantizationError):
+            AdaptiveAsymmetricQuantizer(4, num_bins=0)
+        with pytest.raises(QuantizationError):
+            AdaptiveAsymmetricQuantizer(4, ratio=0.0)

@@ -1,0 +1,98 @@
+"""Quantization grid invariants across all methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quant import make_quantizer
+
+
+@pytest.mark.parametrize("name", ["symmetric", "asymmetric", "adaptive"])
+@pytest.mark.parametrize("bits", [2, 3, 4])
+class TestUniformGridInvariants:
+    def test_at_most_2_pow_bits_levels_per_row(
+        self, name, bits, trained_tensor
+    ):
+        """Every reconstructed row uses at most 2^bits distinct values."""
+        q = make_quantizer(name, bits=bits)
+        recon = q.roundtrip(trained_tensor)
+        for row in recon:
+            assert np.unique(row).size <= (1 << bits)
+
+    def test_codes_span_declared_range(self, name, bits, trained_tensor):
+        q = make_quantizer(name, bits=bits)
+        qt = q.quantize(trained_tensor)
+        codes = qt.unpacked_codes()
+        assert codes.min() >= 0
+        assert codes.max() <= (1 << bits) - 1
+
+    def test_reconstruction_within_stored_bounds(
+        self, name, bits, trained_tensor
+    ):
+        """De-quantized values never escape the per-row stored range."""
+        q = make_quantizer(name, bits=bits)
+        qt = q.quantize(trained_tensor)
+        recon = q.dequantize(qt)
+        if name == "symmetric":
+            xmax = qt.params["xmax"].astype(np.float64)
+            xmin = -xmax
+        else:
+            xmin = qt.params["xmin"].astype(np.float64)
+            xmax = qt.params["xmax"].astype(np.float64)
+        eps = 1e-5
+        assert np.all(recon >= xmin[:, None] - eps)
+        assert np.all(recon <= xmax[:, None] + eps)
+
+
+class TestKMeansGridInvariants:
+    def test_reconstruction_values_come_from_codebook(
+        self, trained_tensor
+    ):
+        q = make_quantizer("kmeans", bits=2)
+        qt = q.quantize(trained_tensor)
+        recon = q.dequantize(qt)
+        codebook = qt.params["codebook"]
+        for r in range(0, trained_tensor.shape[0], 37):
+            row_values = set(np.round(recon[r], 6))
+            book_values = set(np.round(codebook[r], 6))
+            assert row_values <= book_values
+
+    def test_at_most_k_levels(self, trained_tensor):
+        q = make_quantizer("kmeans", bits=3)
+        recon = q.roundtrip(trained_tensor)
+        for row in recon[::17]:
+            assert np.unique(row).size <= 8
+
+
+class TestSizeMonotonicity:
+    def test_packed_bytes_grow_with_bits(self, trained_tensor):
+        sizes = []
+        for bits in (2, 3, 4, 8):
+            qt = make_quantizer("asymmetric", bits=bits).quantize(
+                trained_tensor
+            )
+            sizes.append(qt.code_bytes)
+        assert sizes == sorted(sizes)
+        # 8-bit codes are exactly 4x the 2-bit codes.
+        assert sizes[-1] == 4 * sizes[0]
+
+    def test_total_bytes_beat_fp32_at_all_widths(self, trained_tensor):
+        for bits in (2, 3, 4, 8):
+            qt = make_quantizer("asymmetric", bits=bits).quantize(
+                trained_tensor
+            )
+            assert qt.nbytes < trained_tensor.nbytes
+
+    def test_quantized_then_compressed_barely_shrinks(
+        self, trained_tensor
+    ):
+        """Quantized codes are near-incompressible: quantization has
+        already removed the redundancy generic codecs exploit."""
+        from repro.serialize.compress import DeflateCompressor
+
+        qt = make_quantizer("asymmetric", bits=4).quantize(
+            trained_tensor
+        )
+        report = DeflateCompressor().report(qt.codes.tobytes())
+        assert report.savings < 0.25

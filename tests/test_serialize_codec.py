@@ -1,0 +1,120 @@
+"""Unit tests for the array / quantized-tensor codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.quant import make_quantizer
+from repro.serialize.codec import (
+    decode_array,
+    decode_payload,
+    decode_quantized,
+    encode_array,
+    encode_payload,
+    encode_quantized,
+)
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize(
+        "dtype",
+        ["float64", "float32", "float16", "int64", "int32", "uint8", "bool"],
+    )
+    def test_roundtrip_dtypes(self, dtype, rng):
+        if dtype == "bool":
+            arr = rng.random((7, 5)) > 0.5
+        else:
+            arr = (rng.random((7, 5)) * 100).astype(dtype)
+        out = decode_array(encode_array(arr))
+        assert out.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_roundtrip_shapes(self, rng):
+        for shape in [(0,), (1,), (3, 4, 5), (2, 1, 1, 2)]:
+            arr = rng.random(shape).astype(np.float32)
+            out = decode_array(encode_array(arr))
+            assert out.shape == shape
+
+    def test_non_contiguous_input(self, rng):
+        arr = rng.random((8, 8)).astype(np.float32)[::2, ::2]
+        assert not arr.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(decode_array(encode_array(arr)), arr)
+
+    def test_decoded_array_is_writable(self, rng):
+        out = decode_array(encode_array(np.ones(4, dtype=np.float32)))
+        out[0] = 5.0  # must not raise (frombuffer views are read-only)
+
+    def test_refuses_object_dtype(self):
+        with pytest.raises(SerializationError, match="dtype"):
+            encode_array(np.array([object()]))
+
+    def test_truncated_body_rejected(self, rng):
+        blob = encode_array(rng.random((4, 4)).astype(np.float32))
+        with pytest.raises(SerializationError):
+            decode_array(blob[:-5])
+
+    def test_wrong_kind_rejected(self, trained_tensor):
+        q = make_quantizer("asymmetric", bits=4)
+        blob = encode_quantized(q.quantize(trained_tensor))
+        with pytest.raises(SerializationError, match="array"):
+            decode_array(blob)
+
+
+class TestQuantizedCodec:
+    @pytest.mark.parametrize(
+        "name,bits",
+        [
+            ("symmetric", 2),
+            ("asymmetric", 4),
+            ("adaptive", 3),
+            ("kmeans", 2),
+            ("none", 8),
+        ],
+    )
+    def test_roundtrip_preserves_reconstruction(
+        self, name, bits, trained_tensor
+    ):
+        q = make_quantizer(name, bits=bits)
+        qt = q.quantize(trained_tensor)
+        decoded = decode_quantized(encode_quantized(qt))
+        np.testing.assert_array_equal(
+            q.dequantize(decoded), q.dequantize(qt)
+        )
+        assert decoded.quantizer == qt.quantizer
+        assert decoded.bit_width == qt.bit_width
+        assert decoded.shape == qt.shape
+
+    def test_params_roundtrip_exactly(self, trained_tensor):
+        q = make_quantizer("asymmetric", bits=4)
+        qt = q.quantize(trained_tensor)
+        decoded = decode_quantized(encode_quantized(qt))
+        assert set(decoded.params) == set(qt.params)
+        for name in qt.params:
+            np.testing.assert_array_equal(
+                decoded.params[name], qt.params[name]
+            )
+
+    def test_trailing_garbage_rejected(self, trained_tensor):
+        q = make_quantizer("asymmetric", bits=4)
+        blob = encode_quantized(q.quantize(trained_tensor))
+        with pytest.raises(SerializationError, match="trailing"):
+            decode_quantized(blob + b"garbage")
+
+
+class TestPayloadDispatch:
+    def test_array_payload(self, rng):
+        arr = rng.random((3, 3)).astype(np.float32)
+        out = decode_payload(encode_payload(arr))
+        assert isinstance(out, np.ndarray)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_quantized_payload(self, trained_tensor):
+        q = make_quantizer("adaptive", bits=4)
+        out = decode_payload(encode_payload(q.quantize(trained_tensor)))
+        assert out.quantizer == "adaptive"
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(SerializationError, match="cannot encode"):
+            encode_payload("not a tensor")  # type: ignore[arg-type]

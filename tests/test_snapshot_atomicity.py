@@ -1,0 +1,140 @@
+"""Snapshot atomicity: the decoupling correctness property (§4.2).
+
+"Checkpointing requires the model parameters to be atomically copied
+... Otherwise, training processes may update the model during the
+copying time window, causing substantial consistency challenges."
+
+These tests verify that once the snapshot exists, *continued training
+cannot leak into the checkpoint*: the bytes written to storage reflect
+the model exactly as it was at the stall, no matter how much the live
+model changes while the background write runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.manifest import KIND_FULL
+from repro.core.restore import CheckpointRestorer
+from repro.core.snapshot import SnapshotManager
+from repro.core.writer import CheckpointWriter
+from repro.experiments import build_experiment, small_config
+from repro.model.dlrm import DLRM
+from repro.quant import make_quantizer
+
+
+def test_checkpoint_reflects_snapshot_not_live_model():
+    exp = build_experiment(
+        small_config(
+            quantizer="none",
+            interval_batches=5,
+            num_tables=2,
+            rows_per_table=512,
+            batch_size=32,
+        )
+    )
+    exp.controller.coordinator.grant_interval(5)
+    exp.trainer.train_interval(5)
+    manager = SnapshotManager(exp.trainer, exp.clock)
+    snapshot = manager.take_snapshot(
+        0, exp.controller.tracker_set, exp.reader.collect_state()
+    )
+    at_snapshot = {
+        t: exp.model.table_weight(t).copy()
+        for t in range(exp.model.num_tables)
+    }
+
+    # Training continues while the checkpoint is being written — the
+    # paper's whole point. Here: train more *before* the write call.
+    exp.controller.coordinator.resume()
+    exp.controller.coordinator.grant_interval(5)
+    exp.trainer.train_interval(5)
+    assert not np.allclose(
+        exp.model.table_weight(0), at_snapshot[0]
+    )  # the live model moved on
+
+    writer = CheckpointWriter(exp.store, exp.clock)
+    manifest, _ = writer.write_checkpoint(
+        snapshot, KIND_FULL, "atomic", "job0", None, "full",
+        make_quantizer("none"), chunk_rows=128,
+        quantize_optimizer_state=False,
+    )
+    snapshot.release(exp.trainer)
+
+    # Restore into a fresh model: it must equal the snapshot-time
+    # state, not the post-snapshot training state.
+    fresh = DLRM(exp.config.model)
+    restorer = CheckpointRestorer(exp.store, exp.clock)
+    restorer.restore(fresh, manifest, {"atomic": manifest})
+    for t in range(exp.model.num_tables):
+        np.testing.assert_array_equal(
+            fresh.table_weight(t), at_snapshot[t]
+        )
+        assert not np.array_equal(
+            fresh.table_weight(t), exp.model.table_weight(t)
+        ) or np.array_equal(
+            at_snapshot[t], exp.model.table_weight(t)
+        )
+
+
+def test_tracker_mask_in_snapshot_is_frozen():
+    """Rows modified after the snapshot do not join its increment."""
+    exp = build_experiment(
+        small_config(
+            quantizer="none",
+            interval_batches=5,
+            num_tables=2,
+            rows_per_table=512,
+            batch_size=32,
+        )
+    )
+    exp.controller.coordinator.grant_interval(5)
+    exp.trainer.train_interval(5)
+    manager = SnapshotManager(exp.trainer, exp.clock)
+    snapshot = manager.take_snapshot(
+        0, exp.controller.tracker_set, exp.reader.collect_state()
+    )
+    masked_at_snapshot = {
+        sid: int(s.mask.sum()) for sid, s in snapshot.shards.items()
+    }
+    # More training marks more rows in the live tracker...
+    exp.controller.coordinator.resume()
+    exp.controller.coordinator.grant_interval(5)
+    exp.trainer.train_interval(5)
+    live_marked = exp.controller.tracker_set.modified_rows
+    assert live_marked >= sum(masked_at_snapshot.values())
+    # ...but the snapshot's masks are unchanged.
+    for sid, shard in snapshot.shards.items():
+        assert int(shard.mask.sum()) == masked_at_snapshot[sid]
+    snapshot.release(exp.trainer)
+
+
+def test_two_snapshots_are_independent():
+    exp = build_experiment(
+        small_config(
+            quantizer="none",
+            interval_batches=3,
+            num_tables=2,
+            rows_per_table=256,
+            batch_size=32,
+        )
+    )
+    manager = SnapshotManager(exp.trainer, exp.clock)
+    exp.controller.coordinator.grant_interval(3)
+    exp.trainer.train_interval(3)
+    first = manager.take_snapshot(
+        0, exp.controller.tracker_set, exp.reader.collect_state()
+    )
+    exp.controller.coordinator.resume()
+    exp.controller.coordinator.grant_interval(3)
+    exp.trainer.train_interval(3)
+    second = manager.take_snapshot(
+        1, exp.controller.tracker_set, exp.reader.collect_state()
+    )
+    shard_id = next(iter(first.shards))
+    assert not np.array_equal(
+        first.shards[shard_id].weight, second.shards[shard_id].weight
+    )
+    first.release(exp.trainer)
+    second.release(exp.trainer)
+    assert manager.snapshots_taken == 2

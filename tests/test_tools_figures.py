@@ -1,0 +1,25 @@
+"""Tests for the quick figure renderers (the fast ones only)."""
+
+from __future__ import annotations
+
+from repro.tools.figures import render_fig3, render_stall_table
+
+
+class TestRenderers:
+    def test_fig3_contains_quantiles(self):
+        text = render_fig3(num_jobs=5_000)
+        assert "Fig 3" in text
+        assert "P90=" in text and "P99=" in text
+        # Quantiles land near the paper's values even at 5k jobs.
+        p90 = float(text.split("P90=")[1].split("h")[0])
+        assert 10.0 < p90 < 17.0
+
+    def test_stall_table_paper_bound(self):
+        text = render_stall_table()
+        assert "stall" in text
+        # Every rendered model size respects the paper's 7s bound at
+        # 1 TiB; the 2 TiB row may exceed it (scaling is linear).
+        for line in text.splitlines():
+            if "1024 GiB" in line:
+                stall = float(line.split(":")[1].split("s stall")[0])
+                assert stall < 7.0
