@@ -187,7 +187,14 @@ class StorageConfig:
 POLICY_NAMES = ("full", "one_shot", "consecutive", "intermittent")
 
 #: Valid quantizer names (see repro.quant.registry).
-QUANTIZER_NAMES = ("none", "symmetric", "asymmetric", "adaptive", "kmeans")
+QUANTIZER_NAMES = (
+    "none",
+    "float16",
+    "symmetric",
+    "asymmetric",
+    "adaptive",
+    "kmeans",
+)
 
 
 @dataclass(frozen=True)
@@ -246,6 +253,128 @@ class FailureConfig:
         _require(self.mean_time_to_failure_s > 0, "MTTF must be positive")
         _require(self.weibull_shape > 0, "weibull shape must be positive")
         _require(self.min_failure_s >= 0, "min_failure_s must be >= 0")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """A multi-job fleet sharing one object store (paper Figs 15-17).
+
+    Per-job heterogeneity is sampled from the choice tuples below with
+    the fleet ``seed``, mimicking the spread of model sizes, intervals
+    and quantization policies across Meta's training fleet. ``storage``
+    configures the single *shared* store every job writes through;
+    ``failures`` drives per-job crash injection from the Fig 3 CDF.
+    """
+
+    num_jobs: int = 8
+    intervals_per_job: int = 4
+    seed: int = 0xF1EE7
+    batch_size: int = 64
+    #: Paper embedding vectors are ~64 wide; 16 keeps runs fast while
+    #: stopping per-row quantization metadata from dominating savings.
+    embedding_dim: int = 16
+
+    # Heterogeneity distributions (uniform choice unless weighted).
+    #: Tables must dwarf per-interval row touches or every interval
+    #: modifies everything and increments degenerate to fulls.
+    rows_per_table_choices: tuple[int, ...] = (2048, 4096, 8192)
+    num_tables_choices: tuple[int, ...] = (2, 3, 4)
+    interval_batches_choices: tuple[int, ...] = (8, 12, 16)
+    zipf_alpha: float = 1.1
+    policy_choices: tuple[str, ...] = (
+        "intermittent",
+        "one_shot",
+        "consecutive",
+    )
+    policy_weights: tuple[float, ...] = (0.5, 0.25, 0.25)
+    #: (quantizer, bit_width) pairs; bit_width is ignored by
+    #: ``none``/``float16``. The mix mirrors the paper's restore-count
+    #: bands: mostly 4-bit adaptive, some 8-bit, a few high-precision.
+    quantizer_choices: tuple[str, ...] = (
+        "adaptive",
+        "adaptive",
+        "asymmetric",
+        "float16",
+        "none",
+    )
+    bit_width_choices: tuple[int, ...] = (4, 4, 8, 8, 8)
+    weight_choices: tuple[float, ...] = (1.0,)
+
+    #: Stagger job starts over this window so checkpoint triggers do
+    #: not all align on the shared link.
+    stagger_s: float = 30.0
+    keep_last: int = 2
+    #: Admission control: at most this many jobs may have a checkpoint
+    #: in flight on the shared store at once (None = unlimited).
+    max_concurrent_writes: int | None = None
+    #: Per-job live physical-byte quota on the shared store.
+    per_job_quota_bytes: int | None = None
+
+    inject_failures: bool = True
+    max_failures_per_job: int = 1
+
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    failures: FailureConfig = field(default_factory=FailureConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.num_jobs >= 1, "num_jobs must be >= 1")
+        _require(self.intervals_per_job >= 1, "intervals_per_job >= 1")
+        _require(self.batch_size >= 1, "batch_size must be >= 1")
+        _require(self.embedding_dim >= 1, "embedding_dim must be >= 1")
+        for name, choices in (
+            ("rows_per_table_choices", self.rows_per_table_choices),
+            ("num_tables_choices", self.num_tables_choices),
+            ("interval_batches_choices", self.interval_batches_choices),
+            ("policy_choices", self.policy_choices),
+            ("quantizer_choices", self.quantizer_choices),
+            ("bit_width_choices", self.bit_width_choices),
+            ("weight_choices", self.weight_choices),
+        ):
+            _require(len(choices) >= 1, f"{name} must be non-empty")
+        _require(
+            all(p in POLICY_NAMES for p in self.policy_choices),
+            f"policy_choices must be drawn from {POLICY_NAMES}",
+        )
+        _require(
+            all(q in QUANTIZER_NAMES for q in self.quantizer_choices),
+            f"quantizer_choices must be drawn from {QUANTIZER_NAMES}",
+        )
+        _require(
+            len(self.policy_weights) == len(self.policy_choices),
+            "policy_weights must pair with policy_choices",
+        )
+        _require(
+            all(w > 0 for w in self.policy_weights),
+            "policy weights must be positive",
+        )
+        _require(
+            len(self.bit_width_choices) == len(self.quantizer_choices),
+            "bit_width_choices must pair with quantizer_choices",
+        )
+        _require(
+            all(1 <= b <= 8 for b in self.bit_width_choices),
+            "bit widths must be in [1, 8]",
+        )
+        _require(
+            all(w > 0 for w in self.weight_choices),
+            "stream weights must be positive",
+        )
+        _require(self.stagger_s >= 0, "stagger_s must be >= 0")
+        _require(self.keep_last >= 1, "keep_last must be >= 1")
+        if self.max_concurrent_writes is not None:
+            _require(
+                self.max_concurrent_writes >= 1,
+                "max_concurrent_writes must be >= 1",
+            )
+        if self.per_job_quota_bytes is not None:
+            _require(
+                self.per_job_quota_bytes > 0,
+                "per_job_quota_bytes must be positive",
+            )
+        _require(
+            self.max_failures_per_job >= 0,
+            "max_failures_per_job must be >= 0",
+        )
 
 
 @dataclass(frozen=True)

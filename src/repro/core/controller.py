@@ -34,9 +34,9 @@ from .manifest import KIND_FULL, CheckpointManifest
 from .policies import PolicyState, make_policy
 from .restore import CheckpointRestorer, RestoreReport
 from .retention import RetentionManager
-from .snapshot import SnapshotManager
+from .snapshot import ModelSnapshot, SnapshotManager
 from .tracker import TrackerSet
-from .writer import CheckpointWriter, WriteReport
+from .writer import CheckpointWriter, WriteReport, WriteStep
 
 #: What to do when a checkpoint triggers while the previous one is
 #: still being written (the paper forbids overlap, section 4.3).
@@ -52,6 +52,47 @@ class CheckpointEvent:
     action: str  # "written", "skipped_overlap", "cancelled_previous"
     manifest: CheckpointManifest | None = None
     report: WriteReport | None = None
+
+
+@dataclass
+class PendingCheckpoint:
+    """A staged checkpoint write whose PUTs have not all been submitted.
+
+    Produced by :meth:`CheckNRun.begin_checkpoint`. The fleet scheduler
+    interleaves :meth:`advance` calls from many jobs so their chunk
+    transfers share the storage link fairly; the single-job
+    :meth:`CheckNRun.checkpoint` drains it immediately. ``next_step``
+    announces the upcoming PUT (and its earliest start time) before it
+    is submitted.
+    """
+
+    checkpoint_id: str
+    kind: str
+    interval_index: int
+    snapshot: ModelSnapshot
+    steps: object  # generator of WriteStep
+    next_step: WriteStep | None = None
+    manifest: CheckpointManifest | None = None
+    report: WriteReport | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.manifest is not None
+
+    def advance(self) -> WriteStep | None:
+        """Submit the announced PUT and announce the next one.
+
+        Returns the new pending step, or ``None`` once the manifest has
+        landed and the write is complete.
+        """
+        if self.done:
+            return None
+        try:
+            self.next_step = next(self.steps)  # type: ignore[call-overload]
+        except StopIteration as stop:
+            self.manifest, self.report = stop.value
+            self.next_step = None
+        return self.next_step
 
 
 @dataclass
@@ -210,6 +251,28 @@ class CheckNRun:
             return "skipped_overlap"
         # cancel_previous: the unfinished checkpoint never became valid;
         # delete its objects and free the storage link.
+        self.discard_unlanded_write()
+        self.store.timeline.release()
+        self.stats.checkpoints_cancelled += 1
+        return "cancelled_previous"
+
+    def discard_unlanded_write(self) -> str | None:
+        """Drop the newest write if its last byte has not landed yet.
+
+        Used when the write can no longer complete: cancellation, or a
+        crash — a process death kills the background write pipeline,
+        so a checkpoint whose manifest transfer was still in flight at
+        the crash never becomes valid (section 4.4). Deletes the
+        checkpoint's objects, rolls back the baseline/increment
+        bookkeeping, and returns the discarded id (None if the newest
+        write had already landed).
+        """
+        if self._pending is None:
+            return None
+        manifest, _ = self._pending
+        if manifest.valid_at_s <= self.clock.now:
+            self._pending = None
+            return None
         from .manifest import checkpoint_prefix
 
         prefix = checkpoint_prefix(self.job_id, manifest.checkpoint_id)
@@ -220,28 +283,72 @@ class CheckNRun:
             manifest.kind == KIND_FULL
             and self._current_base_id == manifest.checkpoint_id
         ):
-            # The cancelled checkpoint was the new baseline; roll back
+            # The discarded checkpoint was the new baseline; roll back
             # to having no baseline so the next decision re-takes full.
             self._current_base_id = None
             self._sizes_since_base = []
             self._last_full_bytes = None
         elif self._sizes_since_base:
             self._sizes_since_base.pop()
-        self.store.timeline.release()
         self._pending = None
-        self.stats.checkpoints_cancelled += 1
-        return "cancelled_previous"
+        return manifest.checkpoint_id
+
+    def reset_for_scratch_restart(self) -> list[str]:
+        """Forget all checkpoint state after a from-scratch recovery.
+
+        A job restarting with no restorable checkpoint must not keep
+        baselines, increment-size history, or manifest records from its
+        previous life — a later incremental decision would otherwise
+        base on pre-restart weights and restore silently wrong state.
+        Returns the forgotten checkpoint ids so the caller can scrub
+        their stored objects.
+        """
+        forgotten = list(self.manifests)
+        self.manifests.clear()
+        self._current_base_id = None
+        self._sizes_since_base = []
+        self._last_full_bytes = None
+        self._pending = None
+        self.interval_index = 0
+        self.tracker_set.reset_all()
+        return forgotten
 
     def checkpoint(self) -> CheckpointEvent:
         """Trigger one checkpoint at the current interval boundary."""
+        started = self.begin_checkpoint()
+        if isinstance(started, CheckpointEvent):
+            return started
+        while started.advance() is not None:
+            pass
+        return self.finish_checkpoint(started)
+
+    def record_skip(self, action: str = "skipped_overlap") -> CheckpointEvent:
+        """Record a trigger that produced no write (overlap/admission).
+
+        The interval still advances — the paper's controller simply
+        does not start a new checkpoint while the previous one is in
+        flight (section 4.3); the fleet scheduler additionally skips
+        triggers its admission controller rejects.
+        """
+        event = CheckpointEvent(self.interval_index, action)
+        self.interval_index += 1
+        self.stats.checkpoints_skipped += 1
+        self.stats.events.append(event)
+        return event
+
+    def begin_checkpoint(self) -> CheckpointEvent | PendingCheckpoint:
+        """Snapshot, decide full/incremental, and stage the write.
+
+        Returns a skip :class:`CheckpointEvent` if the previous write is
+        still in flight, else a primed :class:`PendingCheckpoint` whose
+        first chunk is quantized and awaiting submission. Callers must
+        drain it with :meth:`PendingCheckpoint.advance` and then call
+        :meth:`finish_checkpoint` (or :meth:`abort_pending` on a crash).
+        """
         interval = self.interval_index
         overlap = self._handle_overlap()
         if overlap == "skipped_overlap":
-            self.interval_index += 1
-            self.stats.checkpoints_skipped += 1
-            event = CheckpointEvent(interval, "skipped_overlap")
-            self.stats.events.append(event)
-            return event
+            return self.record_skip("skipped_overlap")
 
         reader_state = self.coordinator.collect_state()
         snapshot = self.snapshot_manager.take_snapshot(
@@ -277,7 +384,7 @@ class CheckNRun:
             self.config.quantize_optimizer_state
             and quantizer.name != "none"
         )
-        manifest, report = self.writer.write_checkpoint(
+        steps = self.writer.write_checkpoint_steps(
             snapshot,
             decision,
             checkpoint_id,
@@ -290,12 +397,34 @@ class CheckNRun:
             adaptive_num_bins=self.config.num_bins,
             adaptive_ratio=self.config.ratio,
         )
-        snapshot.release(self.trainer)
-        self.manifests[checkpoint_id] = manifest
+        pending = PendingCheckpoint(
+            checkpoint_id=checkpoint_id,
+            kind=decision,
+            interval_index=interval,
+            snapshot=snapshot,
+            steps=steps,
+        )
+        pending.advance()  # prime: quantize chunk 1, announce its PUT
+        self.interval_index += 1
+        return pending
+
+    def finish_checkpoint(
+        self, pending: PendingCheckpoint
+    ) -> CheckpointEvent:
+        """Book-keep a drained staged write: validity, baseline, retention."""
+        if not pending.done:
+            raise CheckpointError(
+                f"checkpoint {pending.checkpoint_id!r} still has "
+                "unsubmitted writes"
+            )
+        manifest, report = pending.manifest, pending.report
+        assert manifest is not None and report is not None
+        pending.snapshot.release(self.trainer)
+        self.manifests[pending.checkpoint_id] = manifest
         self._pending = (manifest, report)
 
-        if decision == KIND_FULL:
-            self._current_base_id = checkpoint_id
+        if pending.kind == KIND_FULL:
+            self._current_base_id = pending.checkpoint_id
             self._sizes_since_base = []
             self._last_full_bytes = report.logical_bytes
         else:
@@ -307,7 +436,7 @@ class CheckNRun:
             self._sizes_since_base.append(
                 report.logical_bytes / self._last_full_bytes
             )
-        if self.policy.reset_tracker_after(decision):
+        if self.policy.reset_tracker_after(pending.kind):
             self.tracker_set.reset_all()
 
         # Retention: the just-written checkpoint is still in flight at
@@ -317,13 +446,26 @@ class CheckNRun:
             self.manifests, self.policy, self.job_id, now_s=self.clock.now
         )
 
-        self.interval_index += 1
         self.stats.checkpoints_written += 1
         self.stats.bytes_written_logical += report.logical_bytes
         self.stats.bytes_written_physical += report.physical_bytes
-        event = CheckpointEvent(interval, "written", manifest, report)
+        event = CheckpointEvent(
+            pending.interval_index, "written", manifest, report
+        )
         self.stats.events.append(event)
         return event
+
+    def abort_pending(self, pending: PendingCheckpoint) -> None:
+        """Abandon a staged write after a mid-write crash.
+
+        Already-stored chunks stay behind as a *torn* checkpoint — no
+        manifest was written, so the restore path never considers it
+        (the manifest-last invariant). The snapshot's host memory is
+        released; controller state is otherwise untouched, since the
+        crash recovery path rebuilds it from stored manifests.
+        """
+        pending.snapshot.release(self.trainer)
+        pending.steps = iter(())  # drop the generator; no more PUTs
 
     def _last_checkpoint_id(self) -> str | None:
         if not self.manifests:

@@ -20,6 +20,7 @@ ids, quantized (or raw fp32) weights, and the optimizer accumulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Generator
 
 import numpy as np
 
@@ -63,6 +64,24 @@ class WriteReport:
     def pipeline_duration_s(self) -> float:
         """Trigger-to-valid latency of the checkpoint."""
         return self.valid_at_s - self.started_at_s
+
+
+@dataclass(frozen=True)
+class WriteStep:
+    """One pending store submission of a staged checkpoint write.
+
+    The staged writer (see :meth:`CheckpointWriter.write_checkpoint_steps`)
+    yields a ``WriteStep`` *before* each object PUT. ``ready_s`` is the
+    earliest simulated time the transfer could start (a chunk's
+    quantization-finish time on the CPU lane); the fleet scheduler uses
+    it to interleave chunk submissions from concurrent jobs in event
+    order, which is what makes cross-job link sharing fair at chunk
+    granularity. Resuming the generator performs the PUT.
+    """
+
+    kind: str  # "chunk", "dense", or "manifest"
+    key: str
+    ready_s: float
 
 
 class CheckpointWriter:
@@ -135,7 +154,55 @@ class CheckpointWriter:
         adaptive_num_bins: int = 25,
         adaptive_ratio: float = 1.0,
     ) -> tuple[CheckpointManifest, WriteReport]:
-        """Quantize, chunk, and store one checkpoint; manifest last."""
+        """Quantize, chunk, and store one checkpoint; manifest last.
+
+        Drains :meth:`write_checkpoint_steps` to completion — the
+        single-job path, with submission order (and therefore timing)
+        identical to the pre-staged writer.
+        """
+        steps = self.write_checkpoint_steps(
+            snapshot,
+            kind,
+            checkpoint_id,
+            job_id,
+            base_id,
+            policy_name,
+            quantizer,
+            chunk_rows,
+            quantize_optimizer_state,
+            adaptive_num_bins,
+            adaptive_ratio,
+        )
+        while True:
+            try:
+                next(steps)
+            except StopIteration as stop:
+                return stop.value
+
+    def write_checkpoint_steps(
+        self,
+        snapshot: ModelSnapshot,
+        kind: str,
+        checkpoint_id: str,
+        job_id: str,
+        base_id: str | None,
+        policy_name: str,
+        quantizer: Quantizer,
+        chunk_rows: int,
+        quantize_optimizer_state: bool = True,
+        adaptive_num_bins: int = 25,
+        adaptive_ratio: float = 1.0,
+    ) -> Generator[WriteStep, None, tuple[CheckpointManifest, WriteReport]]:
+        """Staged checkpoint write: yields before every object PUT.
+
+        Quantization runs eagerly when the generator is advanced; the
+        following PUT is deferred until the next resume, so a fleet
+        scheduler can interleave chunk submissions from many jobs on
+        the shared link in ``ready_s`` order. Abandoning the generator
+        mid-flight leaves chunks without a manifest — exactly the torn
+        state a mid-write crash produces, which the restore path must
+        skip (manifest-last invariant, paper section 4.4).
+        """
         if chunk_rows < 1:
             raise CheckpointError("chunk_rows must be >= 1")
         started_at = self.clock.now
@@ -217,6 +284,7 @@ class CheckpointWriter:
                 key = chunk_key(
                     job_id, checkpoint_id, shard.shard_id, chunk_index
                 )
+                yield WriteStep("chunk", key, quant_span.end)
                 # Pipelining: the store transfer cannot start before
                 # this chunk's quantization finished on the CPU lane.
                 receipt = self.store.put(
@@ -255,6 +323,9 @@ class CheckpointWriter:
                 )
             ],
         )
+        yield WriteStep(
+            "dense", dense_key(job_id, checkpoint_id), self.clock.now
+        )
         dense_receipt = self.store.put(
             dense_key(job_id, checkpoint_id), dense_blob
         )
@@ -281,6 +352,9 @@ class CheckpointWriter:
                 dense_bytes=dense_receipt.logical_bytes,
             )
 
+        yield WriteStep(
+            "manifest", manifest_key(job_id, checkpoint_id), last_end
+        )
         # The manifest's validity time is the landing time of its own
         # bytes; predict it from the timeline before the single PUT (a
         # few bytes of JSON length drift are timing noise).

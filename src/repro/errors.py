@@ -58,7 +58,16 @@ class ObjectExistsError(StorageError):
 
 
 class CapacityExceededError(StorageError):
-    """A PUT would exceed the store's configured capacity."""
+    """A PUT would exceed the store's configured capacity (or a
+    per-stream quota on a shared store)."""
+
+
+class NamespaceViolationError(StorageError):
+    """A scoped store view touched a key outside its job namespace."""
+
+
+class FleetError(ReproError):
+    """The multi-job fleet scheduler was configured or driven invalidly."""
 
 
 class ShardingError(ReproError):

@@ -34,6 +34,7 @@ from ..distributed.sharding import ShardingPlan, plan_auto
 from ..distributed.topology import SimCluster
 from ..distributed.trainer import SimTrainer
 from ..model.dlrm import DLRM
+from ..storage.backends import Backend
 from ..storage.object_store import ObjectStore
 
 
@@ -133,16 +134,28 @@ def build_experiment(
     config: ExperimentConfig,
     job_id: str = "job0",
     overlap_action: str = "skip_new",
+    backend: Backend | None = None,
+    store: ObjectStore | None = None,
+    clock: SimClock | None = None,
 ) -> Experiment:
-    """Wire the full stack from a config."""
-    clock = SimClock()
+    """Wire the full stack from a config.
+
+    ``backend`` selects the byte store (in-memory by default; pass a
+    :class:`~repro.storage.backends.FileBackend` or
+    :class:`~repro.storage.backends.MirroredBackend` to exercise real
+    persistence or replica-loss recovery). The fleet instead injects a
+    pre-built ``store`` (a job's scoped view of the shared store) and
+    the job's own ``clock``.
+    """
+    clock = clock if clock is not None else SimClock()
     dataset = SyntheticClickDataset(config.model, config.data)
     model = DLRM(config.model)
     reader = ReaderMaster(dataset, config.reader)
     cluster = SimCluster(config.cluster)
     plan = plan_auto(config.model, cluster)
     trainer = SimTrainer(model, reader, cluster, plan, clock)
-    store = ObjectStore(config.storage, clock)
+    if store is None:
+        store = ObjectStore(config.storage, clock, backend=backend)
     controller = CheckNRun(
         trainer,
         reader,

@@ -1,0 +1,53 @@
+"""Fleet-scale multi-job checkpointing against one shared object store.
+
+The paper's headline numbers (Figs 15-17) are aggregates over thousands
+of concurrent training jobs writing to one replicated blob store. This
+package reproduces that regime in miniature: a :class:`FleetScheduler`
+co-simulates N heterogeneous jobs — each a full Check-N-Run stack with
+its own clock — against a single :class:`~repro.storage.ObjectStore`,
+interleaving their chunk transfers under a fair-share bandwidth arbiter,
+injecting failures from the Fig 3 CDF, and enforcing per-job namespaces
+and capacity quotas.
+"""
+
+from .arbitration import busy_span, interleave_score
+from .experiment import (
+    FleetJobResult,
+    FleetReductionResult,
+    FleetRunReport,
+    build_fleet,
+    fleet_reduction_experiment,
+    format_fleet_report,
+    run_fleet,
+    summarize_fleet,
+)
+from .jobs import (
+    FleetJob,
+    FleetJobSpec,
+    build_fleet_job,
+    sample_fleet_specs,
+    spec_experiment_config,
+)
+from .namespace import ScopedStore
+from .scheduler import FleetEvent, FleetScheduler
+
+__all__ = [
+    "FleetEvent",
+    "FleetJob",
+    "FleetJobResult",
+    "FleetJobSpec",
+    "FleetReductionResult",
+    "FleetRunReport",
+    "FleetScheduler",
+    "ScopedStore",
+    "build_fleet",
+    "build_fleet_job",
+    "busy_span",
+    "fleet_reduction_experiment",
+    "format_fleet_report",
+    "interleave_score",
+    "run_fleet",
+    "sample_fleet_specs",
+    "spec_experiment_config",
+    "summarize_fleet",
+]

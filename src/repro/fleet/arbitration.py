@@ -1,0 +1,36 @@
+"""Fleet-level link-sharing metrics.
+
+The arbiter itself lives in :mod:`repro.storage.bandwidth` (it is a
+storage-layer concern); this module holds the *measurements* the fleet
+experiments and tests make over a shared store's transfer log.
+"""
+
+from __future__ import annotations
+
+from ..storage.bandwidth import Transfer
+
+
+def interleave_score(transfers: list[Transfer]) -> int:
+    """How often the link switched between streams mid-traffic.
+
+    Counts adjacent transfer pairs served to *different* streams. A
+    fleet whose jobs are serialised checkpoint-by-checkpoint scores low
+    (one switch per checkpoint); chunk-level fair sharing scores high.
+    Untagged transfers are ignored.
+    """
+    tagged = [t for t in transfers if t.stream]
+    return sum(
+        1
+        for a, b in zip(tagged, tagged[1:])
+        if a.stream != b.stream
+    )
+
+
+def busy_span(transfers: list[Transfer]) -> tuple[float, float]:
+    """(first start, last end) over a set of transfers."""
+    if not transfers:
+        return (0.0, 0.0)
+    return (
+        min(t.start_s for t in transfers),
+        max(t.end_s for t in transfers),
+    )

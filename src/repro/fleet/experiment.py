@@ -1,0 +1,302 @@
+"""Fleet experiments: aggregate bandwidth/capacity over many jobs.
+
+The paper's Figs 15-17 are fleet aggregates; these drivers reproduce
+them by running whole fleets against one shared store:
+
+* :func:`run_fleet` — one heterogeneous fleet, returning per-job and
+  aggregate traffic/capacity numbers plus fairness and interleaving
+  metrics for the shared link;
+* :func:`fleet_reduction_experiment` — the Fig 17 comparison at fleet
+  scale: the same fleet run once as the fp32/full baseline and once
+  with Check-N-Run's incremental + quantized policies, yielding the
+  aggregate write-bandwidth and storage-capacity reduction factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from ..config import FleetConfig
+from ..distributed.clock import SimClock
+from ..errors import FleetError
+from ..metrics.accounting import peak_capacity
+from ..storage.bandwidth import BandwidthArbiter
+from ..storage.object_store import ObjectStore
+from .arbitration import busy_span, interleave_score
+from .jobs import FleetJobSpec, build_fleet_job, sample_fleet_specs
+from .scheduler import FleetEvent, FleetScheduler
+
+
+@dataclass(frozen=True)
+class FleetJobResult:
+    """One job's outcome inside a fleet run."""
+
+    job_id: str
+    policy: str
+    quantizer: str
+    bit_width: int
+    num_tables: int
+    rows_per_table: int
+    intervals: int
+    checkpoints_written: int
+    checkpoints_skipped: int
+    admission_deferred: int
+    restores: int
+    failures: int
+    torn_writes: int
+    scratch_restarts: int
+    quota_rejections: int
+    wasted_batches: int
+    bytes_logical: int
+    bytes_physical: int
+    model_fp32_bytes: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class FleetRunReport:
+    """Aggregate outcome of one fleet run on a shared store."""
+
+    jobs: tuple[FleetJobResult, ...]
+    duration_s: float  # last event (training or transfer) in sim time
+    total_put_bytes_logical: int
+    total_put_bytes_physical: int
+    aggregate_write_bandwidth: float  # physical put bytes / duration
+    peak_logical_bytes: int
+    peak_physical_bytes: int
+    fairness_index: float
+    interleave_switches: int
+    failures: int
+    restores: int
+    torn_writes: int
+    #: Fig 15 at fleet scale: (window_start, window_end, bytes/sec)
+    bandwidth_series: tuple[tuple[float, float, float], ...]
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+
+def _bandwidth_series(
+    store: ObjectStore, windows: int
+) -> tuple[tuple[float, float, float], ...]:
+    puts = store.log.transfers("put")
+    start, end = busy_span(puts)
+    if end <= start:
+        return ()
+    width = (end - start) / windows
+    series = []
+    for i in range(windows):
+        lo = start + i * width
+        hi = lo + width
+        series.append(
+            (lo, hi, store.log.average_bandwidth(lo, hi, "put"))
+        )
+    return tuple(series)
+
+
+def build_fleet(
+    config: FleetConfig,
+    specs: list[FleetJobSpec] | None = None,
+    on_event: Callable[[FleetEvent], None] | None = None,
+) -> tuple[FleetScheduler, ObjectStore]:
+    """Wire a shared store + arbiter and a full fleet of jobs."""
+    store = ObjectStore(
+        config.storage, SimClock(), arbiter=BandwidthArbiter()
+    )
+    if specs is None:
+        specs = sample_fleet_specs(config)
+    jobs = [build_fleet_job(spec, config, store) for spec in specs]
+    scheduler = FleetScheduler(
+        config, store, jobs=jobs, on_event=on_event
+    )
+    return scheduler, store
+
+
+def summarize_fleet(
+    scheduler: FleetScheduler, store: ObjectStore, windows: int = 12
+) -> FleetRunReport:
+    """Collect a finished fleet run's aggregate report."""
+    job_results = []
+    for job in scheduler.jobs:
+        stats = job.controller.stats
+        job_results.append(
+            FleetJobResult(
+                job_id=job.job_id,
+                policy=job.spec.policy,
+                quantizer=job.spec.quantizer,
+                bit_width=job.spec.bit_width,
+                num_tables=job.spec.num_tables,
+                rows_per_table=job.spec.rows_per_table,
+                intervals=job.controller.interval_index,
+                checkpoints_written=stats.checkpoints_written,
+                checkpoints_skipped=stats.checkpoints_skipped,
+                admission_deferred=job.admission_deferred,
+                restores=stats.restores,
+                failures=job.failures_injected,
+                torn_writes=job.torn_writes,
+                scratch_restarts=job.scratch_restarts,
+                quota_rejections=job.quota_rejections,
+                wasted_batches=job.wasted_batches,
+                bytes_logical=stats.bytes_written_logical,
+                bytes_physical=stats.bytes_written_physical,
+                model_fp32_bytes=job.model_fp32_bytes(),
+                duration_s=job.clock.now,
+            )
+        )
+    puts = store.log.transfers("put")
+    _, last_transfer_end = busy_span(store.log.transfers())
+    duration = max(
+        [last_transfer_end] + [job.clock.now for job in scheduler.jobs]
+    )
+    if duration <= 0:
+        raise FleetError("fleet run produced no simulated time")
+    total_physical = store.log.total_bytes("put")
+    arbiter = store.arbiter
+    assert arbiter is not None
+    return FleetRunReport(
+        jobs=tuple(job_results),
+        duration_s=duration,
+        total_put_bytes_logical=sum(
+            r.bytes_logical for r in job_results
+        ),
+        total_put_bytes_physical=total_physical,
+        aggregate_write_bandwidth=total_physical / duration,
+        peak_logical_bytes=peak_capacity(store.capacity_series()),
+        peak_physical_bytes=store.stats().peak_physical_bytes,
+        fairness_index=arbiter.fairness_index("put"),
+        interleave_switches=interleave_score(puts),
+        failures=sum(r.failures for r in job_results),
+        restores=sum(r.restores for r in job_results),
+        torn_writes=sum(r.torn_writes for r in job_results),
+        bandwidth_series=_bandwidth_series(store, windows),
+    )
+
+
+def run_fleet(
+    config: FleetConfig,
+    specs: list[FleetJobSpec] | None = None,
+    on_event: Callable[[FleetEvent], None] | None = None,
+) -> tuple[FleetScheduler, FleetRunReport]:
+    """Run one fleet to completion and summarise it."""
+    scheduler, store = build_fleet(config, specs, on_event)
+    scheduler.run()
+    return scheduler, summarize_fleet(scheduler, store)
+
+
+# ----------------------------------------------------------------------
+# Fig 17 at fleet scale
+# ----------------------------------------------------------------------
+
+
+def format_fleet_report(report: FleetRunReport) -> str:
+    """Human-readable fleet summary (CLI + benchmark artifact)."""
+    lines = [
+        f"fleet: {report.num_jobs} jobs sharing one store, "
+        f"{report.duration_s:.1f} simulated seconds",
+        "",
+        "job      policy        quantizer  bits  rows/tbl  ckpts  skip"
+        "  fail  rest  torn    KiB",
+    ]
+    lines.append("-" * len(lines[-1]))
+    for j in report.jobs:
+        lines.append(
+            f"{j.job_id:<8s} {j.policy:<13s} {j.quantizer:<10s}"
+            f" {j.bit_width:>4d}  {j.rows_per_table:>8d}"
+            f"  {j.checkpoints_written:>5d} {j.checkpoints_skipped:>5d}"
+            f" {j.failures:>5d} {j.restores:>5d} {j.torn_writes:>5d}"
+            f" {j.bytes_logical / 1024:>6.0f}"
+        )
+    lines += [
+        "",
+        f"aggregate write bandwidth: "
+        f"{report.aggregate_write_bandwidth / 2**20:.3f} MiB/s "
+        f"(physical, over {report.duration_s:.1f} s)",
+        f"total logical bytes written: "
+        f"{report.total_put_bytes_logical / 2**20:.2f} MiB",
+        f"peak live capacity: {report.peak_logical_bytes / 2**20:.2f}"
+        f" MiB logical / {report.peak_physical_bytes / 2**20:.2f}"
+        " MiB physical",
+        f"link fairness (Jain, weighted): {report.fairness_index:.3f}",
+        f"cross-job interleave switches: {report.interleave_switches}",
+        f"failures: {report.failures}  restores: {report.restores}"
+        f"  torn writes: {report.torn_writes}",
+    ]
+    if report.bandwidth_series:
+        lines += ["", "window_start  window_end   agg_put_MiB/s"]
+        for lo, hi, bw in report.bandwidth_series:
+            lines.append(f"{lo:>12.1f} {hi:>11.1f} {bw / 2**20:>13.3f}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FleetReductionResult:
+    """Fleet-aggregate bandwidth/capacity reduction vs the fp32 baseline."""
+
+    baseline: FleetRunReport
+    checknrun: FleetRunReport
+    bandwidth_reduction: float
+    capacity_reduction: float
+
+    def format(self) -> str:
+        return "\n".join(
+            [
+                "fleet-aggregate reduction vs full-fp32 baseline "
+                "(paper Fig 17: ~6x-17x bandwidth, ~2.5x-8x capacity):",
+                f"  baseline fleet wrote "
+                f"{self.baseline.total_put_bytes_logical / 2**20:.2f}"
+                f" MiB, peak "
+                f"{self.baseline.peak_logical_bytes / 2**20:.2f} MiB",
+                f"  check-n-run fleet wrote "
+                f"{self.checknrun.total_put_bytes_logical / 2**20:.2f}"
+                f" MiB, peak "
+                f"{self.checknrun.peak_logical_bytes / 2**20:.2f} MiB",
+                f"  aggregate write-bandwidth reduction: "
+                f"{self.bandwidth_reduction:.1f}x",
+                f"  aggregate capacity reduction: "
+                f"{self.capacity_reduction:.1f}x",
+            ]
+        )
+
+
+def fleet_reduction_experiment(
+    config: FleetConfig,
+    bit_width: int = 4,
+) -> FleetReductionResult:
+    """Run the same fleet twice: full+fp32 vs intermittent+adaptive.
+
+    Failure injection is disabled in both runs so the byte counts
+    compare identical training work (the paper's Fig 17 baseline "uses
+    neither quantization nor incremental views"). Model sizes,
+    intervals and stagger offsets are held fixed across the two runs.
+    """
+    quiet = replace(config, inject_failures=False)
+    specs = sample_fleet_specs(quiet)
+    baseline_specs = [
+        replace(s, policy="full", quantizer="none") for s in specs
+    ]
+    variant_specs = [
+        replace(
+            s,
+            policy="intermittent",
+            quantizer="adaptive",
+            bit_width=bit_width,
+        )
+        for s in specs
+    ]
+    _, baseline = run_fleet(quiet, specs=baseline_specs)
+    _, variant = run_fleet(quiet, specs=variant_specs)
+    if variant.total_put_bytes_logical == 0 or variant.peak_logical_bytes == 0:
+        raise FleetError("variant fleet wrote no checkpoint bytes")
+    return FleetReductionResult(
+        baseline=baseline,
+        checknrun=variant,
+        bandwidth_reduction=(
+            (baseline.total_put_bytes_logical / baseline.duration_s)
+            / (variant.total_put_bytes_logical / variant.duration_s)
+        ),
+        capacity_reduction=(
+            baseline.peak_logical_bytes / variant.peak_logical_bytes
+        ),
+    )

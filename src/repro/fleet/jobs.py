@@ -1,0 +1,207 @@
+"""Fleet job specs: paper-like heterogeneity, sampled deterministically.
+
+Meta's fleet mixes model sizes spanning orders of magnitude, different
+checkpoint intervals, and different quantization aggressiveness per
+job's expected restore count (paper section 6.2.1). A
+:class:`FleetJobSpec` pins one job's draw from those distributions;
+:func:`build_fleet_job` wires the job's full Check-N-Run stack — its own
+clock, dataset, model, trainer and controller — against a *shared*
+object store through a namespaced :class:`~repro.fleet.namespace.ScopedStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import (
+    CheckpointConfig,
+    ClusterConfig,
+    DataConfig,
+    ExperimentConfig,
+    FleetConfig,
+    ModelConfig,
+    ReaderConfig,
+)
+from ..core.controller import CheckNRun, PendingCheckpoint
+from ..data.reader import ReaderMaster
+from ..distributed.clock import SimClock
+from ..distributed.trainer import SimTrainer
+from ..experiments.common import build_experiment
+from ..model.dlrm import DLRM
+from ..storage.object_store import ObjectStore
+from .namespace import ScopedStore
+
+
+@dataclass(frozen=True)
+class FleetJobSpec:
+    """One job's sampled configuration within a fleet."""
+
+    job_id: str
+    num_tables: int
+    rows_per_table: int
+    interval_batches: int
+    policy: str
+    quantizer: str
+    bit_width: int
+    weight: float
+    start_offset_s: float
+    seed: int
+    failure_seed: int
+
+
+def sample_fleet_specs(config: FleetConfig) -> list[FleetJobSpec]:
+    """Draw ``num_jobs`` heterogeneous specs from the fleet distributions."""
+    rng = np.random.default_rng(config.seed)
+    weights = np.asarray(config.policy_weights, dtype=np.float64)
+    weights = weights / weights.sum()
+    specs = []
+    for index in range(config.num_jobs):
+        policy = str(
+            rng.choice(list(config.policy_choices), p=weights)
+        )
+        quant_index = int(rng.integers(len(config.quantizer_choices)))
+        specs.append(
+            FleetJobSpec(
+                job_id=f"job{index:03d}",
+                num_tables=int(rng.choice(config.num_tables_choices)),
+                rows_per_table=int(
+                    rng.choice(config.rows_per_table_choices)
+                ),
+                interval_batches=int(
+                    rng.choice(config.interval_batches_choices)
+                ),
+                policy=policy,
+                quantizer=config.quantizer_choices[quant_index],
+                bit_width=config.bit_width_choices[quant_index],
+                weight=float(rng.choice(config.weight_choices)),
+                start_offset_s=float(
+                    rng.uniform(0.0, config.stagger_s)
+                ),
+                seed=int(rng.integers(1, 2**31 - 1)),
+                failure_seed=int(rng.integers(1, 2**31 - 1)),
+            )
+        )
+    return specs
+
+
+def spec_experiment_config(
+    spec: FleetJobSpec, fleet: FleetConfig
+) -> ExperimentConfig:
+    """The per-job experiment configuration a spec denotes."""
+    dim = fleet.embedding_dim
+    return ExperimentConfig(
+        model=ModelConfig(
+            num_tables=spec.num_tables,
+            rows_per_table=tuple(
+                [spec.rows_per_table] * spec.num_tables
+            ),
+            embedding_dim=dim,
+            bottom_mlp=(16, dim),
+            top_mlp=(16, 1),
+            hotness=4,
+            seed=spec.seed,
+        ),
+        data=DataConfig(
+            batch_size=fleet.batch_size,
+            zipf_alpha=fleet.zipf_alpha,
+            seed=spec.seed ^ 0xDA7A,
+        ),
+        reader=ReaderConfig(coordinated=True),
+        cluster=ClusterConfig(num_nodes=1, devices_per_node=2),
+        storage=fleet.storage,
+        checkpoint=CheckpointConfig(
+            interval_batches=spec.interval_batches,
+            policy=spec.policy,
+            quantizer=spec.quantizer,
+            bit_width=spec.bit_width,
+            keep_last=fleet.keep_last,
+        ),
+        failures=fleet.failures,
+    )
+
+
+@dataclass
+class FleetJob:
+    """One running job plus the scheduler's per-job runtime state."""
+
+    spec: FleetJobSpec
+    config: ExperimentConfig
+    clock: SimClock
+    model: DLRM
+    reader: ReaderMaster
+    trainer: SimTrainer
+    store: ScopedStore
+    controller: CheckNRun
+
+    target_intervals: int = 0
+    batches_left: int = 0  # remaining in the current interval (0 = boundary)
+    pending: PendingCheckpoint | None = None
+    next_failure_s: float | None = None
+    failures_injected: int = 0
+    torn_writes: int = 0
+    admission_deferred: int = 0
+    quota_rejections: int = 0
+    wasted_batches: int = 0
+    total_batches_trained: int = 0
+    scratch_restarts: int = 0
+
+    @property
+    def job_id(self) -> str:
+        return self.spec.job_id
+
+    @property
+    def intervals_done(self) -> int:
+        return self.controller.interval_index
+
+    def training_done(self) -> bool:
+        return self.intervals_done >= self.target_intervals
+
+    def model_fp32_bytes(self) -> int:
+        return self.config.model.embedding_bytes
+
+
+def build_fleet_job(
+    spec: FleetJobSpec,
+    fleet: FleetConfig,
+    shared_store: ObjectStore,
+) -> FleetJob:
+    """Wire a job's full stack against the shared store.
+
+    The job gets its own :class:`SimClock` (clusters run independently;
+    only storage is shared), advanced to its staggered start offset so
+    fleet checkpoint triggers de-align. Its stream is registered with
+    the store's arbiter if one is attached. The stack itself comes from
+    :func:`repro.experiments.common.build_experiment`, with the job's
+    namespaced view of the shared store injected.
+    """
+    config = spec_experiment_config(spec, fleet)
+    clock = SimClock()
+    clock.advance(spec.start_offset_s, "fleet-stagger")
+    scoped = ScopedStore(shared_store, spec.job_id, clock)
+    if shared_store.arbiter is not None:
+        shared_store.arbiter.register(
+            spec.job_id,
+            weight=spec.weight,
+            quota_bytes=fleet.per_job_quota_bytes,
+        )
+    exp = build_experiment(
+        config,
+        job_id=spec.job_id,
+        overlap_action="skip_new",
+        store=scoped,  # duck-typed ObjectStore scoped to the namespace
+        clock=clock,
+    )
+    return FleetJob(
+        spec=spec,
+        config=config,
+        clock=clock,
+        model=exp.model,
+        reader=exp.reader,
+        trainer=exp.trainer,
+        store=scoped,
+        controller=exp.controller,
+        target_intervals=fleet.intervals_per_job,
+        batches_left=spec.interval_batches,
+    )

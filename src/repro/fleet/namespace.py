@@ -1,0 +1,116 @@
+"""Per-job namespaced views of a shared object store.
+
+Every checkpoint object key already begins with its job id (see
+:mod:`repro.core.manifest`), so on a shared store the job id *is* the
+namespace. A :class:`ScopedStore` hands a job the full store API while
+
+* rejecting any key outside ``<job_id>/`` with
+  :class:`~repro.errors.NamespaceViolationError` — a job can never read,
+  overwrite or delete another job's checkpoints, no matter how confused
+  its controller gets;
+* tagging every transfer with the job's *stream* so the bandwidth
+  arbiter can attribute link time and enforce the job's capacity quota;
+* flooring every transfer's start at the job's own clock — jobs advance
+  their private clocks at different rates, and a transfer must never be
+  timed before the moment its job issued it.
+
+The wrapped store is duck-type compatible with
+:class:`~repro.storage.object_store.ObjectStore` everywhere the core
+checkpoint stack touches it (writer, restorer, retention, controller).
+"""
+
+from __future__ import annotations
+
+from ..distributed.clock import SimClock, Timeline
+from ..errors import NamespaceViolationError
+from ..storage.backends import Backend
+from ..storage.object_store import ObjectStore, PutReceipt
+
+
+class ScopedStore:
+    """A job's window onto the shared store: one namespace, one stream."""
+
+    def __init__(
+        self, store: ObjectStore, job_id: str, clock: SimClock
+    ) -> None:
+        if not job_id or "/" in job_id:
+            raise NamespaceViolationError(
+                f"invalid job namespace {job_id!r}"
+            )
+        self.base = store
+        self.job_id = job_id
+        self.clock = clock
+        self.namespace = f"{job_id}/"
+
+    # ------------------------------------------------------------------
+
+    def _check(self, key: str) -> str:
+        if not key.startswith(self.namespace):
+            raise NamespaceViolationError(
+                f"job {self.job_id!r} may not touch key {key!r} outside "
+                f"its {self.namespace!r} namespace"
+            )
+        return key
+
+    # -- pass-through surface the core stack relies on -----------------
+
+    @property
+    def config(self):
+        return self.base.config
+
+    @property
+    def timeline(self) -> Timeline:
+        return self.base.timeline
+
+    @property
+    def backend(self) -> Backend:
+        return self.base.backend
+
+    # -- scoped object operations --------------------------------------
+
+    def put(
+        self,
+        key: str,
+        data: bytes,
+        overwrite: bool = False,
+        earliest: float | None = None,
+    ) -> PutReceipt:
+        self._check(key)
+        floor = self.clock.now
+        if earliest is not None:
+            floor = max(floor, earliest)
+        return self.base.put(
+            key,
+            data,
+            overwrite=overwrite,
+            earliest=floor,
+            stream=self.job_id,
+        )
+
+    def get(self, key: str) -> bytes:
+        self._check(key)
+        return self.base.get(
+            key, earliest=self.clock.now, stream=self.job_id
+        )
+
+    def delete(self, key: str) -> None:
+        self._check(key)
+        self.base.delete(key, stream=self.job_id, at_s=self.clock.now)
+
+    def exists(self, key: str) -> bool:
+        self._check(key)
+        return self.base.exists(key)
+
+    def object_size(self, key: str) -> int:
+        self._check(key)
+        return self.base.object_size(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        if not prefix:
+            prefix = self.namespace
+        if not prefix.startswith(self.namespace):
+            raise NamespaceViolationError(
+                f"job {self.job_id!r} may not list prefix {prefix!r} "
+                f"outside its {self.namespace!r} namespace"
+            )
+        return self.base.list_keys(prefix)

@@ -1,0 +1,415 @@
+"""The fleet checkpoint scheduler: N jobs, one store, one link.
+
+Runs many independent training jobs — each a complete Check-N-Run stack
+with its own simulated clock — against a single shared object store, in
+conservative lockstep: the scheduler always processes the globally
+earliest pending event, so transfers from different jobs reach the
+shared link in simulated-time order even though each job's Python code
+runs sequentially.
+
+Checkpoint writes are *staged* (see
+:meth:`repro.core.controller.CheckNRun.begin_checkpoint`): a job's write
+is a generator that announces each chunk PUT before submitting it. The
+scheduler interleaves announcements from concurrent writers, and when
+several jobs are backlogged behind the link it asks the store's
+:class:`~repro.storage.bandwidth.BandwidthArbiter` which stream's chunk
+goes next (start-time fair queueing). That chunk-level interleaving is
+what turns a serial link into a fair-shared one.
+
+Failures are injected per job from the same Weibull model behind the
+Fig 3 CDF. A crash mid-write abandons the staged generator, leaving a
+*torn* checkpoint (chunks, no manifest) that the restore path must skip;
+recovery restores the job's newest valid checkpoint through the shared
+link, contending with every other job's in-flight traffic.
+
+(The coarse job-queue model in :mod:`repro.failures.scheduler` simulates
+fleet *occupancy* at whole-job granularity; this scheduler simulates
+fleet *storage traffic* at chunk granularity.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..config import FleetConfig
+from ..core.controller import CheckpointEvent
+from ..core.manifest import checkpoint_prefix
+from ..data.state import ReaderState
+from ..errors import (
+    CapacityExceededError,
+    CheckpointNotFoundError,
+    FleetError,
+)
+from ..failures.models import WeibullFailures
+from ..failures.traces import FailureTrace
+from ..storage.object_store import ObjectStore
+from .jobs import FleetJob, build_fleet_job, sample_fleet_specs
+
+#: Hard ceiling on scheduler iterations — a stuck event loop raises
+#: instead of spinning forever.
+MAX_EVENTS = 5_000_000
+
+
+@dataclass
+class FleetEvent:
+    """One observable fleet occurrence (for reports and tests)."""
+
+    kind: str  # "written", "write_step", "skipped", "deferred",
+    # "crash", or "quota"
+    job_id: str
+    time_s: float
+    payload: dict = field(default_factory=dict)
+
+
+class FleetScheduler:
+    """Co-simulates a fleet of checkpointing jobs on one shared store."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        store: ObjectStore,
+        jobs: list[FleetJob] | None = None,
+        on_event: Callable[[FleetEvent], None] | None = None,
+    ) -> None:
+        if store.arbiter is None:
+            raise FleetError(
+                "the shared store needs a BandwidthArbiter attached"
+            )
+        self.config = config
+        self.store = store
+        self.on_event = on_event
+        if jobs is None:
+            jobs = [
+                build_fleet_job(spec, config, store)
+                for spec in sample_fleet_specs(config)
+            ]
+        if not jobs:
+            raise FleetError("fleet needs at least one job")
+        self.jobs = jobs
+        self.events: list[FleetEvent] = []
+        self._forced_crashes: set[str] = set()
+        scale = config.failures.mean_time_to_failure_s / (
+            WeibullFailures(config.failures.weibull_shape, 1.0).mean_s()
+        )
+        self._failure_model = WeibullFailures(
+            config.failures.weibull_shape, scale
+        )
+        self._failure_rngs = {
+            job.job_id: np.random.default_rng(job.spec.failure_seed)
+            for job in self.jobs
+        }
+        if config.inject_failures:
+            # Initial per-job failure times come from a generated
+            # FailureTrace — the same per-job TTF observations behind
+            # the Fig 3 CDF (short setup failures filtered). After a
+            # crash, a job resamples from the underlying model.
+            trace = FailureTrace.generate(
+                self._failure_model,
+                num_jobs=max(2 * config.num_jobs, 8),
+                seed=config.seed ^ config.failures.seed,
+                min_failure_s=config.failures.min_failure_s,
+            )
+            shuffle = np.random.default_rng(config.seed ^ 0x7ACE)
+            times = shuffle.permutation(trace.times_s)
+            for i, job in enumerate(self.jobs):
+                job.next_failure_s = job.clock.now + float(
+                    times[i % times.size]
+                )
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(self, event: FleetEvent) -> None:
+        self.events.append(event)
+        if self.on_event is not None:
+            self.on_event(event)
+
+    def _sample_ttf(self, job: FleetJob) -> float:
+        return float(
+            self._failure_model.sample(self._failure_rngs[job.job_id])
+        )
+
+    def inject_crash(self, job_id: str) -> None:
+        """Force a crash at the job's next scheduled event (tests)."""
+        self._forced_crashes.add(job_id)
+
+    def events_of_kind_for_job(
+        self, kind: str, job_id: str
+    ) -> list[FleetEvent]:
+        return [
+            e
+            for e in self.events
+            if e.kind == kind and e.job_id == job_id
+        ]
+
+    def active_writes(self) -> int:
+        """Jobs with a staged write still submitting PUTs."""
+        return sum(1 for job in self.jobs if job.pending is not None)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Process events until every job trained its target intervals
+        and drained its last write."""
+        for _ in range(MAX_EVENTS):
+            event = self._next_event()
+            if event is None:
+                return
+            time_s, kind, job = event
+            if job.job_id in self._forced_crashes:
+                self._forced_crashes.discard(job.job_id)
+                self._crash(job)
+                continue
+            if kind == "write":
+                self._step_write(job)
+            else:
+                self._step_train(job)
+        raise FleetError(
+            f"fleet did not converge within {MAX_EVENTS} events"
+        )
+
+    def _next_event(self) -> tuple[float, str, FleetJob] | None:
+        """The globally earliest pending event.
+
+        A staged chunk cannot start before ``max(ready, link free)``;
+        using that as the event time lets every chunk that would queue
+        behind the link compete, and the arbiter's fair-queueing tag
+        picks the winner. Writes beat training at equal times so a
+        ready chunk claims its link slot before more training runs.
+        """
+        link_free = self.store.timeline.free_at
+        write_candidates: list[tuple[float, FleetJob]] = []
+        train_candidates: list[tuple[float, FleetJob]] = []
+        for job in self.jobs:
+            if job.pending is not None and job.pending.next_step is not None:
+                ready = job.pending.next_step.ready_s
+                write_candidates.append((max(ready, link_free), job))
+            elif job.pending is not None:
+                # Generator exhausted but bookkeeping outstanding.
+                write_candidates.append((job.clock.now, job))
+            if not job.training_done():
+                train_candidates.append((job.clock.now, job))
+
+        best_write = min(write_candidates, key=lambda e: e[0], default=None)
+        best_train = min(train_candidates, key=lambda e: e[0], default=None)
+        if best_write is None and best_train is None:
+            return None
+        if best_write is not None and (
+            best_train is None or best_write[0] <= best_train[0]
+        ):
+            tied = [
+                job
+                for t, job in write_candidates
+                if t <= best_write[0] + 1e-12
+            ]
+            if len(tied) > 1:
+                chosen_id = self.store.arbiter.pick(
+                    [job.job_id for job in tied]
+                )
+                job = next(j for j in tied if j.job_id == chosen_id)
+            else:
+                job = tied[0]
+            return (best_write[0], "write", job)
+        assert best_train is not None
+        # Deterministic tie-break on equal clocks: lowest job id.
+        t_min = best_train[0]
+        job = min(
+            (j for t, j in train_candidates if t <= t_min + 1e-12),
+            key=lambda j: j.job_id,
+        )
+        return (t_min, "train", job)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+
+    def _step_write(self, job: FleetJob) -> None:
+        pending = job.pending
+        assert pending is not None
+        try:
+            step = pending.advance()
+        except CapacityExceededError as exc:
+            job.quota_rejections += 1
+            job.controller.abort_pending(pending)
+            job.pending = None
+            self._scrub_torn(job, pending.checkpoint_id)
+            self._emit(
+                FleetEvent(
+                    "quota",
+                    job.job_id,
+                    job.clock.now,
+                    {"checkpoint_id": pending.checkpoint_id,
+                     "error": str(exc)},
+                )
+            )
+            return
+        if step is not None:
+            # One PUT submitted; the next one is announced. The hook
+            # lets tests crash a job at an exact point of its write
+            # (e.g. after the last chunk, before the manifest).
+            self._emit(
+                FleetEvent(
+                    "write_step",
+                    job.job_id,
+                    job.clock.now,
+                    {
+                        "checkpoint_id": pending.checkpoint_id,
+                        "next_kind": step.kind,
+                        "next_key": step.key,
+                    },
+                )
+            )
+            return
+        event = job.controller.finish_checkpoint(pending)
+        job.pending = None
+        assert event.manifest is not None
+        self._emit(
+            FleetEvent(
+                "written",
+                job.job_id,
+                job.clock.now,
+                {
+                    "checkpoint_id": event.manifest.checkpoint_id,
+                    "kind": event.manifest.kind,
+                    "valid_at_s": event.manifest.valid_at_s,
+                    "started_at_s": event.report.started_at_s
+                    if event.report
+                    else None,
+                    "logical_bytes": event.report.logical_bytes
+                    if event.report
+                    else 0,
+                },
+            )
+        )
+
+    def _scrub_torn(self, job: FleetJob, checkpoint_id: str) -> None:
+        """Delete a torn checkpoint's orphaned chunks (frees quota)."""
+        prefix = checkpoint_prefix(job.job_id, checkpoint_id)
+        for key in job.store.list_keys(prefix):
+            job.store.delete(key)
+
+    # ------------------------------------------------------------------
+    # Train path
+    # ------------------------------------------------------------------
+
+    def _step_train(self, job: FleetJob) -> None:
+        if job.batches_left == 0:
+            self._trigger_checkpoint(job)
+            return
+        job.controller.coordinator.grant_interval(1)
+        job.trainer.train_one_batch()
+        job.total_batches_trained += 1
+        job.batches_left -= 1
+        if (
+            self.config.inject_failures
+            and job.next_failure_s is not None
+            and job.clock.now >= job.next_failure_s
+            and job.failures_injected < self.config.max_failures_per_job
+        ):
+            self._crash(job)
+
+    def _trigger_checkpoint(self, job: FleetJob) -> None:
+        job.batches_left = job.spec.interval_batches
+        if job.pending is not None:
+            job.controller.record_skip("skipped_overlap")
+            self._emit(
+                FleetEvent("skipped", job.job_id, job.clock.now, {})
+            )
+            return
+        limit = self.config.max_concurrent_writes
+        if limit is not None and self.active_writes() >= limit:
+            job.admission_deferred += 1
+            job.controller.record_skip("admission_deferred")
+            self._emit(
+                FleetEvent("deferred", job.job_id, job.clock.now, {})
+            )
+            return
+        began = job.controller.begin_checkpoint()
+        if isinstance(began, CheckpointEvent):
+            # The previous write's manifest has not landed yet
+            # (valid_at_s in the job's future): paper-rule skip.
+            self._emit(
+                FleetEvent("skipped", job.job_id, job.clock.now, {})
+            )
+            return
+        job.pending = began
+
+    # ------------------------------------------------------------------
+    # Crash / recovery
+    # ------------------------------------------------------------------
+
+    def _crash(self, job: FleetJob) -> None:
+        job.failures_injected += 1
+        torn_id: str | None = None
+        torn_chunks = 0
+        if job.pending is not None:
+            torn_id = job.pending.checkpoint_id
+            torn_chunks = len(
+                job.store.list_keys(
+                    checkpoint_prefix(job.job_id, torn_id)
+                )
+            )
+            job.controller.abort_pending(job.pending)
+            job.pending = None
+            job.torn_writes += 1
+        # A write whose chunks were all submitted but whose manifest
+        # transfer had not landed dies with the process too: discard
+        # it so it never becomes valid after the fact.
+        unlanded = job.controller.discard_unlanded_write()
+        if unlanded is not None:
+            job.torn_writes += 1
+
+        # Metadata snapshot for test-side verification: which of the
+        # job's checkpoints were valid at the moment of the crash.
+        valid_before = sorted(
+            (
+                (m.checkpoint_id, m.interval_index, m.valid_at_s)
+                for m in job.controller.manifests.values()
+                if m.valid_at_s <= job.clock.now
+            ),
+            key=lambda row: (row[1], row[2]),
+        )
+
+        before = job.model.batches_trained
+        try:
+            report = job.controller.restore_latest()
+            restored_from: str | None = report.checkpoint_id
+            after = job.model.batches_trained
+        except CheckpointNotFoundError:
+            job.model.reinitialize()
+            job.reader.restore(
+                ReaderState(
+                    next_batch_index=0, in_flight=0, batches_delivered=0
+                )
+            )
+            for stale_id in job.controller.reset_for_scratch_restart():
+                self._scrub_torn(job, stale_id)
+            job.scratch_restarts += 1
+            restored_from = None
+            after = 0
+        job.wasted_batches += max(0, before - after)
+        job.batches_left = job.spec.interval_batches
+        if torn_id is not None:
+            # The recovered controller never re-adopts a torn write;
+            # scrub its orphaned chunks from the shared store.
+            self._scrub_torn(job, torn_id)
+        job.next_failure_s = job.clock.now + self._sample_ttf(job)
+        self._emit(
+            FleetEvent(
+                "crash",
+                job.job_id,
+                job.clock.now,
+                {
+                    "restored_from": restored_from,
+                    "torn_checkpoint": torn_id,
+                    "torn_chunks": torn_chunks,
+                    "valid_before": valid_before,
+                },
+            )
+        )

@@ -93,6 +93,11 @@ class LatencyModel:
         self._check(elements)
         return elements * 0.05 * ASYMMETRIC_COST_PER_ELEMENT_S
 
+    def float16_s(self, elements: int) -> float:
+        """A cast pass: one read + one narrowing write per element."""
+        self._check(elements)
+        return elements * 0.1 * ASYMMETRIC_COST_PER_ELEMENT_S
+
     def for_quantizer(
         self,
         name: str,
@@ -104,6 +109,8 @@ class LatencyModel:
         """Dispatch by registry name."""
         if name == "none":
             return self.identity_s(elements)
+        if name == "float16":
+            return self.float16_s(elements)
         if name == "symmetric":
             return self.symmetric_s(elements)
         if name == "asymmetric":

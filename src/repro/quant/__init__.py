@@ -13,7 +13,12 @@ Public surface:
 """
 
 from .adaptive import AdaptiveAsymmetricQuantizer, greedy_range_search
-from .base import IdentityQuantizer, QuantizedTensor, Quantizer
+from .base import (
+    Float16Quantizer,
+    IdentityQuantizer,
+    QuantizedTensor,
+    Quantizer,
+)
 from .error import improvement, max_abs_error, mean_l2_error, row_l2_errors
 from .kmeans import KMeansQuantizer
 from .packing import pack_bits, packed_size, unpack_bits
@@ -24,6 +29,7 @@ from .uniform import AsymmetricQuantizer, SymmetricQuantizer
 __all__ = [
     "AdaptiveAsymmetricQuantizer",
     "AsymmetricQuantizer",
+    "Float16Quantizer",
     "IdentityQuantizer",
     "KMeansQuantizer",
     "ProfileResult",

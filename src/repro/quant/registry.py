@@ -12,7 +12,12 @@ import numpy as np
 
 from ..errors import QuantizationError
 from .adaptive import AdaptiveAsymmetricQuantizer
-from .base import IdentityQuantizer, QuantizedTensor, Quantizer
+from .base import (
+    Float16Quantizer,
+    IdentityQuantizer,
+    QuantizedTensor,
+    Quantizer,
+)
 from .kmeans import KMeansQuantizer
 from .uniform import AsymmetricQuantizer, SymmetricQuantizer
 
@@ -41,6 +46,8 @@ def make_quantizer(
     """
     if name == "none":
         return IdentityQuantizer()
+    if name == "float16":
+        return Float16Quantizer()
     if name == "symmetric":
         return SymmetricQuantizer(bits, compact_params=compact_params)
     if name == "asymmetric":
@@ -53,7 +60,7 @@ def make_quantizer(
         return KMeansQuantizer(bits, kmeans_iterations, seed=seed)
     raise QuantizationError(
         f"unknown quantizer {name!r}; valid: "
-        "none, symmetric, asymmetric, adaptive, kmeans"
+        "none, float16, symmetric, asymmetric, adaptive, kmeans"
     )
 
 

@@ -1,7 +1,19 @@
 """Simulated remote object storage: backends, bandwidth, capacity."""
 
-from .backends import Backend, FileBackend, InMemoryBackend, MirroredBackend
-from .bandwidth import Transfer, TransferLog, transfer_time_s
+from .backends import (
+    Backend,
+    CrashingBackend,
+    FileBackend,
+    InMemoryBackend,
+    MirroredBackend,
+)
+from .bandwidth import (
+    BandwidthArbiter,
+    StreamState,
+    Transfer,
+    TransferLog,
+    transfer_time_s,
+)
 from .object_store import (
     CapacityPoint,
     ObjectStore,
@@ -11,13 +23,16 @@ from .object_store import (
 
 __all__ = [
     "Backend",
+    "BandwidthArbiter",
     "CapacityPoint",
+    "CrashingBackend",
     "FileBackend",
     "InMemoryBackend",
     "MirroredBackend",
     "ObjectStore",
     "PutReceipt",
     "StoreStats",
+    "StreamState",
     "Transfer",
     "TransferLog",
     "transfer_time_s",

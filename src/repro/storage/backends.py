@@ -117,6 +117,54 @@ class FileBackend(Backend):
         return sorted(keys)
 
 
+class CrashingBackend(Backend):
+    """Wraps a backend and kills the process at an armed write.
+
+    ``arm(n)`` makes the *n*-th subsequent write raise
+    :class:`StorageError` before touching the inner backend — the
+    simulation equivalent of a node dying between two PUTs. Crash
+    tests use it to leave a checkpoint's chunks on storage without its
+    manifest and assert the restore path skips the torn checkpoint.
+    """
+
+    def __init__(self, inner: Backend) -> None:
+        self.inner = inner
+        self._writes_until_crash: int | None = None
+        self.writes_seen = 0
+
+    def arm(self, writes_until_crash: int) -> None:
+        """Crash on the ``writes_until_crash``-th write from now (1-based)."""
+        if writes_until_crash < 1:
+            raise StorageError("writes_until_crash must be >= 1")
+        self._writes_until_crash = writes_until_crash
+
+    def disarm(self) -> None:
+        self._writes_until_crash = None
+
+    def write(self, key: str, data: bytes) -> None:
+        self.writes_seen += 1
+        if self._writes_until_crash is not None:
+            self._writes_until_crash -= 1
+            if self._writes_until_crash <= 0:
+                self._writes_until_crash = None
+                raise StorageError(
+                    f"simulated crash before writing {key!r}"
+                )
+        self.inner.write(key, data)
+
+    def read(self, key: str) -> bytes:
+        return self.inner.read(key)
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def exists(self, key: str) -> bool:
+        return self.inner.exists(key)
+
+    def list_keys(self, prefix: str = "") -> list[str]:
+        return self.inner.list_keys(prefix)
+
+
 class MirroredBackend(Backend):
     """N synchronous replicas; reads fall through to any live replica.
 

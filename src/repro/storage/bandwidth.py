@@ -1,4 +1,4 @@
-"""Bandwidth accounting for the simulated remote store.
+"""Bandwidth accounting and arbitration for the simulated remote store.
 
 Checkpoint frequency "is bounded by the available write bandwidth to
 remote storage" (paper section 4.3); every reduction factor in Fig 17 is
@@ -6,13 +6,30 @@ ultimately a statement about bytes pushed through this link. The store
 serialises transfers on a :class:`~repro.distributed.clock.Timeline` and
 records them here so experiments can ask for average or windowed write
 bandwidth after the fact.
+
+The fleet extension shares one store between many jobs. Each transfer is
+tagged with its *stream* (one stream per job), and a
+:class:`BandwidthArbiter` decides which backlogged stream's next chunk
+gets the link. The arbiter implements start-time fair queueing at chunk
+granularity — the same discipline packet schedulers use: each stream
+carries a virtual-time tag that advances by ``bytes / weight`` per
+transfer, and the stream with the smallest tag is served next. Over any
+window much longer than one chunk, equal-weight streams converge to
+equal byte shares and a weight-2 stream gets twice the share of a
+weight-1 stream, while the link never moves more than its configured
+bandwidth (it is a single serial resource).
+
+The arbiter also owns per-stream *capacity quotas*: a job whose live
+physical bytes would exceed its quota has its PUT rejected with
+:class:`~repro.errors.CapacityExceededError` before any link time or
+backend write is spent — other jobs are unaffected.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..errors import StorageError
+from ..errors import CapacityExceededError, StorageError
 
 
 @dataclass(frozen=True)
@@ -24,6 +41,7 @@ class Transfer:
     start_s: float
     end_s: float
     kind: str  # "put" or "get"
+    stream: str = ""  # owning stream/job ("" = untagged single-job use)
 
     @property
     def duration_s(self) -> float:
@@ -39,16 +57,49 @@ class TransferLog:
     def record(self, transfer: Transfer) -> None:
         self._transfers.append(transfer)
 
-    def transfers(self, kind: str | None = None) -> list[Transfer]:
-        if kind is None:
-            return list(self._transfers)
-        return [t for t in self._transfers if t.kind == kind]
+    def transfers(
+        self, kind: str | None = None, stream: str | None = None
+    ) -> list[Transfer]:
+        return [
+            t
+            for t in self._transfers
+            if (kind is None or t.kind == kind)
+            and (stream is None or t.stream == stream)
+        ]
 
-    def total_bytes(self, kind: str = "put") -> int:
-        return sum(t.nbytes for t in self._transfers if t.kind == kind)
+    def total_bytes(self, kind: str = "put", stream: str | None = None) -> int:
+        return sum(
+            t.nbytes
+            for t in self._transfers
+            if t.kind == kind and (stream is None or t.stream == stream)
+        )
+
+    def streams(self, kind: str | None = None) -> list[str]:
+        """Distinct stream tags observed, sorted."""
+        return sorted(
+            {
+                t.stream
+                for t in self._transfers
+                if kind is None or t.kind == kind
+            }
+        )
+
+    def stream_shares(self, kind: str = "put") -> dict[str, float]:
+        """Fraction of ``kind`` bytes each stream moved."""
+        total = self.total_bytes(kind)
+        if total == 0:
+            return {}
+        return {
+            stream: self.total_bytes(kind, stream) / total
+            for stream in self.streams(kind)
+        }
 
     def average_bandwidth(
-        self, start_s: float, end_s: float, kind: str = "put"
+        self,
+        start_s: float,
+        end_s: float,
+        kind: str = "put",
+        stream: str | None = None,
     ) -> float:
         """Mean bytes/sec of ``kind`` transfers overlapping the window.
 
@@ -63,6 +114,8 @@ class TransferLog:
         moved = 0.0
         for t in self._transfers:
             if t.kind != kind or t.end_s <= start_s or t.start_s >= end_s:
+                continue
+            if stream is not None and t.stream != stream:
                 continue
             overlap = min(t.end_s, end_s) - max(t.start_s, start_s)
             if t.duration_s > 0:
@@ -83,3 +136,155 @@ def transfer_time_s(
     if latency_s < 0:
         raise StorageError(f"negative latency {latency_s}")
     return latency_s + nbytes / bandwidth
+
+
+# ----------------------------------------------------------------------
+# Multi-stream arbitration
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StreamState:
+    """Accounting for one registered transfer stream (one job)."""
+
+    stream_id: str
+    weight: float = 1.0
+    quota_bytes: int | None = None  # live physical-byte ceiling
+    charged_bytes: int = 0  # live physical bytes attributed
+    served_put_bytes: int = 0
+    served_get_bytes: int = 0
+    virtual_finish: float = 0.0  # SFQ finish tag (weighted bytes)
+    transfers: int = 0
+    quota_rejections: int = 0
+
+    @property
+    def served_bytes(self) -> int:
+        return self.served_put_bytes + self.served_get_bytes
+
+
+class BandwidthArbiter:
+    """Fair-share scheduler and quota ledger for a shared storage link.
+
+    The arbiter does not move bytes itself — the store's serial timeline
+    does. It decides *order* (:meth:`pick`, used by the fleet scheduler
+    to choose which backlogged job submits its next chunk) and enforces
+    *per-stream capacity quotas* (:meth:`admit_put` /
+    :meth:`credit_delete`, called by the store around each mutation).
+    """
+
+    def __init__(self) -> None:
+        self._streams: dict[str, StreamState] = {}
+        self._virtual_time = 0.0  # max finish tag served so far
+
+    # -- registry ------------------------------------------------------
+
+    def register(
+        self,
+        stream_id: str,
+        weight: float = 1.0,
+        quota_bytes: int | None = None,
+    ) -> StreamState:
+        if not stream_id:
+            raise StorageError("stream id must be non-empty")
+        if weight <= 0:
+            raise StorageError(f"stream weight must be > 0, got {weight}")
+        if quota_bytes is not None and quota_bytes <= 0:
+            raise StorageError("stream quota must be positive")
+        if stream_id in self._streams:
+            raise StorageError(f"stream {stream_id!r} already registered")
+        state = StreamState(
+            stream_id=stream_id, weight=weight, quota_bytes=quota_bytes
+        )
+        self._streams[stream_id] = state
+        return state
+
+    def stream(self, stream_id: str) -> StreamState:
+        try:
+            return self._streams[stream_id]
+        except KeyError:
+            raise StorageError(
+                f"stream {stream_id!r} is not registered"
+            ) from None
+
+    def streams(self) -> list[StreamState]:
+        return [self._streams[k] for k in sorted(self._streams)]
+
+    # -- fair queueing -------------------------------------------------
+
+    def pick(self, candidates: list[str]) -> str:
+        """The backlogged stream to serve next: smallest SFQ finish tag.
+
+        Ties break by stream id for determinism. Streams that have been
+        idle re-enter at the current virtual time (standard SFQ), so an
+        idle period never becomes a credit to burst later.
+        """
+        if not candidates:
+            raise StorageError("no candidate streams to pick from")
+        best: str | None = None
+        best_tag = 0.0
+        for stream_id in sorted(candidates):
+            state = self.stream(stream_id)
+            tag = max(state.virtual_finish, self._virtual_time)
+            if best is None or tag < best_tag:
+                best, best_tag = stream_id, tag
+        assert best is not None
+        return best
+
+    def on_transfer(self, stream_id: str, nbytes: int, kind: str) -> None:
+        """Advance a stream's virtual tag after it used the link."""
+        state = self.stream(stream_id)
+        start_tag = max(state.virtual_finish, self._virtual_time)
+        state.virtual_finish = start_tag + nbytes / state.weight
+        self._virtual_time = max(self._virtual_time, start_tag)
+        state.transfers += 1
+        if kind == "put":
+            state.served_put_bytes += nbytes
+        else:
+            state.served_get_bytes += nbytes
+
+    # -- quotas --------------------------------------------------------
+
+    def admit_put(self, stream_id: str, delta_physical: int) -> None:
+        """Charge a PUT's physical bytes against the stream's quota.
+
+        ``delta_physical`` is the *net* change in live physical bytes
+        (an overwrite's previous size already subtracted). Raises
+        :class:`CapacityExceededError` — and charges nothing — if the
+        stream would exceed its quota; other streams are unaffected.
+        """
+        state = self.stream(stream_id)
+        projected = state.charged_bytes + delta_physical
+        if state.quota_bytes is not None and projected > state.quota_bytes:
+            state.quota_rejections += 1
+            raise CapacityExceededError(
+                f"stream {stream_id!r}: PUT would raise live usage to "
+                f"{projected} bytes, over its {state.quota_bytes}-byte "
+                "quota"
+            )
+        state.charged_bytes = max(0, projected)
+
+    def credit_delete(self, stream_id: str, physical_bytes: int) -> None:
+        """Return a deleted object's physical bytes to the stream."""
+        state = self.stream(stream_id)
+        state.charged_bytes = max(0, state.charged_bytes - physical_bytes)
+
+    # -- fleet-level metrics -------------------------------------------
+
+    def fairness_index(self, kind: str = "put") -> float:
+        """Jain's fairness index over weighted per-stream service.
+
+        Computed over *every* registered stream: 1.0 means each
+        received service exactly proportional to its weight; 1/N means
+        one stream took everything while the rest starved. 1.0 when no
+        stream moved any bytes.
+        """
+        served = [
+            s.served_put_bytes / s.weight
+            if kind == "put"
+            else s.served_get_bytes / s.weight
+            for s in self._streams.values()
+        ]
+        total = sum(served)
+        if not served or total == 0:
+            return 1.0
+        return total * total / (len(served) * sum(x * x for x in served))

@@ -20,7 +20,12 @@ from ..config import StorageConfig
 from ..distributed.clock import SimClock, Timeline
 from ..errors import CapacityExceededError, ObjectExistsError, StorageError
 from .backends import Backend, InMemoryBackend
-from .bandwidth import Transfer, TransferLog, transfer_time_s
+from .bandwidth import (
+    BandwidthArbiter,
+    Transfer,
+    TransferLog,
+    transfer_time_s,
+)
 
 
 @dataclass(frozen=True)
@@ -66,12 +71,14 @@ class ObjectStore:
         config: StorageConfig,
         clock: SimClock,
         backend: Backend | None = None,
+        arbiter: BandwidthArbiter | None = None,
     ) -> None:
         self.config = config
         self.clock = clock
         self.backend = backend if backend is not None else InMemoryBackend()
         self.timeline = Timeline(clock, "storage")
         self.log = TransferLog()
+        self.arbiter = arbiter
         self._sizes: dict[str, int] = {}
         self._capacity_series: list[CapacityPoint] = []
         self._peak_physical = 0
@@ -120,11 +127,15 @@ class ObjectStore:
         data: bytes,
         overwrite: bool = False,
         earliest: float | None = None,
+        stream: str = "",
     ) -> PutReceipt:
         """Store an object; occupies the storage link in sim time.
 
         ``earliest`` defers the transfer start (the pipelined checkpoint
         writer passes the chunk's quantization-finish time here).
+        ``stream`` tags the transfer with its owning job on a shared
+        store; when an arbiter is attached, the stream's capacity quota
+        is checked (and charged) before any link time is spent.
         """
         if not key:
             raise StorageError("object key must be non-empty")
@@ -145,38 +156,76 @@ class ObjectStore:
                     f"{projected} bytes, over the "
                     f"{self.config.capacity_bytes}-byte capacity"
                 )
+        charged = physical - previous * self.config.replication_factor
+        if self.arbiter is not None and stream:
+            self.arbiter.admit_put(stream, charged)
         duration = transfer_time_s(
             physical, self.config.write_bandwidth, self.config.latency_s
         )
         span = self.timeline.submit(
             duration, label=f"put:{key}", earliest=earliest
         )
-        self.backend.write(key, data)
+        try:
+            self.backend.write(key, data)
+        except Exception:
+            # The bytes never landed: return the quota charge so a
+            # failing backend cannot leak a stream's budget away.
+            if self.arbiter is not None and stream:
+                self.arbiter.credit_delete(stream, charged)
+            raise
         self._sizes[key] = logical
         self._total_written += physical
         self.log.record(
-            Transfer(key, physical, span.start, span.end, "put")
+            Transfer(key, physical, span.start, span.end, "put", stream)
         )
+        if self.arbiter is not None and stream:
+            self.arbiter.on_transfer(stream, physical, "put")
         self._record_capacity(span.end)
         return PutReceipt(key, logical, physical, span.start, span.end)
 
-    def get(self, key: str) -> bytes:
-        """Fetch an object (timed on the shared storage timeline)."""
+    def get(
+        self,
+        key: str,
+        earliest: float | None = None,
+        stream: str = "",
+    ) -> bytes:
+        """Fetch an object (timed on the shared storage timeline).
+
+        ``earliest`` floors the transfer start at the caller's own
+        simulated time — on a shared store the reading job's clock may
+        be ahead of the store's, and a restore must not be timed before
+        the failure that triggered it.
+        """
         data = self.backend.read(key)
         duration = transfer_time_s(
             len(data), self.config.read_bandwidth, self.config.latency_s
         )
-        span = self.timeline.submit(duration, label=f"get:{key}")
-        self.log.record(
-            Transfer(key, len(data), span.start, span.end, "get")
+        span = self.timeline.submit(
+            duration, label=f"get:{key}", earliest=earliest
         )
+        self.log.record(
+            Transfer(key, len(data), span.start, span.end, "get", stream)
+        )
+        if self.arbiter is not None and stream:
+            self.arbiter.on_transfer(stream, len(data), "get")
         return data
 
-    def delete(self, key: str) -> None:
-        """Remove an object and update capacity accounting."""
+    def delete(
+        self, key: str, stream: str = "", at_s: float | None = None
+    ) -> None:
+        """Remove an object and update capacity accounting.
+
+        ``at_s`` timestamps the capacity sample with the deleting job's
+        clock (shared stores lag behind per-job clocks); ``stream``
+        credits the freed physical bytes back to the job's quota.
+        """
+        physical = self._sizes.get(key, 0) * self.config.replication_factor
         self.backend.delete(key)
         self._sizes.pop(key, None)
-        self._record_capacity(self.clock.now)
+        if self.arbiter is not None and stream:
+            self.arbiter.credit_delete(stream, physical)
+        when = self.clock.now if at_s is None else max(at_s, self.clock.now)
+        self._record_capacity(when)
 
     def exists(self, key: str) -> bool:
         return self.backend.exists(key)

@@ -1,4 +1,4 @@
-"""Command-line interface: run jobs, inspect and scrub checkpoints.
+"""Command-line interface: run jobs, fleets; inspect and scrub checkpoints.
 
 Usage (after ``pip install -e .``)::
 
@@ -6,6 +6,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.tools inspect --store-dir /tmp/ckpts --job job0
     python -m repro.tools scrub --store-dir /tmp/ckpts --job job0
     python -m repro.tools restore --store-dir /tmp/ckpts --job job0
+    python -m repro.tools fleet --jobs 8 --intervals 4
 
 ``run`` persists checkpoints (and the job's configuration) to a
 directory-backed object store, so a later ``restore`` in a *different
@@ -21,6 +22,7 @@ import sys
 
 from ..config import (
     CheckpointConfig,
+    FleetConfig,
     StorageConfig,
     experiment_config_from_dict,
     experiment_config_to_dict,
@@ -211,6 +213,31 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="print the quick paper-figure reproductions"
     )
     figures.set_defaults(func=cmd_figures)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run N jobs against one shared store; emit fleet aggregates",
+    )
+    fleet.add_argument("--jobs", type=int, default=8)
+    fleet.add_argument("--intervals", type=int, default=6)
+    fleet.add_argument("--seed", type=int, default=0xF1EE7)
+    fleet.add_argument(
+        "--max-concurrent-writes", type=int, default=None,
+        help="admission control: cap on simultaneous checkpoint writes",
+    )
+    fleet.add_argument(
+        "--quota-bytes", type=int, default=None,
+        help="per-job live physical-byte quota on the shared store",
+    )
+    fleet.add_argument(
+        "--no-failures", action="store_true",
+        help="disable failure injection in the heterogeneous run",
+    )
+    fleet.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory for fleet_aggregate.txt",
+    )
+    fleet.set_defaults(func=cmd_fleet)
     return parser
 
 
@@ -218,6 +245,45 @@ def cmd_figures(args: argparse.Namespace) -> int:
     from .figures import render_all
 
     print(render_all())
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a heterogeneous fleet + the Fig 17 fleet-aggregate comparison."""
+    from pathlib import Path
+
+    from ..fleet import (
+        fleet_reduction_experiment,
+        format_fleet_report,
+        run_fleet,
+    )
+
+    config = FleetConfig(
+        num_jobs=args.jobs,
+        intervals_per_job=args.intervals,
+        seed=args.seed,
+        max_concurrent_writes=args.max_concurrent_writes,
+        per_job_quota_bytes=args.quota_bytes,
+        inject_failures=not args.no_failures,
+    )
+    _, report = run_fleet(config)
+    reduction = fleet_reduction_experiment(config)
+    body = "\n".join(
+        [
+            f"== Fleet run: {args.jobs} jobs x {args.intervals} "
+            f"intervals (seed {args.seed}) ==",
+            format_fleet_report(report),
+            "",
+            reduction.format(),
+            "",
+        ]
+    )
+    print(body)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "fleet_cli_aggregate.txt"
+    out_path.write_text(body)
+    print(f"wrote {out_path}")
     return 0
 
 
