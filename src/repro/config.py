@@ -255,6 +255,10 @@ class FailureConfig:
         _require(self.min_failure_s >= 0, "min_failure_s must be >= 0")
 
 
+#: Valid correlated-failure domain kinds (see repro.failures.domains).
+STORM_DOMAINS = ("rack", "power")
+
+
 @dataclass(frozen=True)
 class FleetConfig:
     """A multi-job fleet sharing one object store (paper Figs 15-17).
@@ -264,6 +268,13 @@ class FleetConfig:
     and quantization policies across Meta's training fleet. ``storage``
     configures the single *shared* store every job writes through;
     ``failures`` drives per-job crash injection from the Fig 3 CDF.
+
+    ``priority_mix`` splits the fleet into paper-style priority classes:
+    that fraction of jobs runs as tier ``prod`` (strict link priority,
+    may preempt experimental staged writes), the rest as
+    ``experimental``. ``storm_domain`` arms one correlated failure —
+    a whole rack or a power domain dies at once mid-run — forcing every
+    affected job to restore through the shared link simultaneously.
     """
 
     num_jobs: int = 8
@@ -312,6 +323,25 @@ class FleetConfig:
 
     inject_failures: bool = True
     max_failures_per_job: int = 1
+
+    #: Fraction of jobs sampled into the ``prod`` priority tier
+    #: (0.0 = the whole fleet is experimental; tiering disabled).
+    priority_mix: float = 0.0
+    #: Whether prod-tier traffic may preempt (abort-and-requeue) an
+    #: experimental job's staged checkpoint write.
+    preempt_staged_writes: bool = True
+    #: Minimum link backlog (seconds a prod transfer would have to
+    #: queue) before preemption fires; 0 preempts on any contention.
+    preempt_wait_s: float = 0.1
+    #: Correlated failure domain to strike mid-run: ``"rack"`` (one
+    #: rack of ``rack_size`` jobs), ``"power"`` (the whole fleet), or
+    #: None (independent failures only).
+    storm_domain: str | None = None
+    #: Jobs per rack when assigning rack failure domains.
+    rack_size: int = 4
+    #: Fleet progress fraction (completed intervals / target) at which
+    #: the armed storm fires.
+    storm_at_fraction: float = 0.5
 
     storage: StorageConfig = field(default_factory=StorageConfig)
     failures: FailureConfig = field(default_factory=FailureConfig)
@@ -374,6 +404,22 @@ class FleetConfig:
         _require(
             self.max_failures_per_job >= 0,
             "max_failures_per_job must be >= 0",
+        )
+        _require(
+            0.0 <= self.priority_mix <= 1.0,
+            "priority_mix must be in [0, 1]",
+        )
+        _require(self.preempt_wait_s >= 0, "preempt_wait_s must be >= 0")
+        if self.storm_domain is not None:
+            _require(
+                self.storm_domain in STORM_DOMAINS,
+                f"unknown storm domain {self.storm_domain!r}; "
+                f"valid: {STORM_DOMAINS}",
+            )
+        _require(self.rack_size >= 1, "rack_size must be >= 1")
+        _require(
+            0.0 < self.storm_at_fraction < 1.0,
+            "storm_at_fraction must be in (0, 1)",
         )
 
 

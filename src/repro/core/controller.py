@@ -322,21 +322,33 @@ class CheckNRun:
             pass
         return self.finish_checkpoint(started)
 
-    def record_skip(self, action: str = "skipped_overlap") -> CheckpointEvent:
+    def record_skip(
+        self,
+        action: str = "skipped_overlap",
+        interval: int | None = None,
+        advance: bool = True,
+    ) -> CheckpointEvent:
         """Record a trigger that produced no write (overlap/admission).
 
-        The interval still advances — the paper's controller simply
+        The interval normally advances — the paper's controller simply
         does not start a new checkpoint while the previous one is in
         flight (section 4.3); the fleet scheduler additionally skips
-        triggers its admission controller rejects.
+        triggers its admission controller rejects. A *restage* skip
+        (``advance=False``) belongs to an already-counted interval, so
+        it neither re-reads nor bumps the index.
         """
-        event = CheckpointEvent(self.interval_index, action)
-        self.interval_index += 1
+        if interval is None:
+            interval = self.interval_index
+        event = CheckpointEvent(interval, action)
+        if advance:
+            self.interval_index += 1
         self.stats.checkpoints_skipped += 1
         self.stats.events.append(event)
         return event
 
-    def begin_checkpoint(self) -> CheckpointEvent | PendingCheckpoint:
+    def begin_checkpoint(
+        self, restage: bool = False
+    ) -> CheckpointEvent | PendingCheckpoint:
         """Snapshot, decide full/incremental, and stage the write.
 
         Returns a skip :class:`CheckpointEvent` if the previous write is
@@ -344,11 +356,23 @@ class CheckNRun:
         first chunk is quantized and awaiting submission. Callers must
         drain it with :meth:`PendingCheckpoint.advance` and then call
         :meth:`finish_checkpoint` (or :meth:`abort_pending` on a crash).
+
+        ``restage=True`` re-stages a write whose predecessor was aborted
+        by tier preemption (see :mod:`repro.fleet.scheduler`): the new
+        write belongs to the *already counted* interval, so the interval
+        index is neither re-read nor advanced — the checkpoint covers a
+        fresh snapshot but keeps the job's interval accounting intact.
         """
-        interval = self.interval_index
+        interval = (
+            max(0, self.interval_index - 1)
+            if restage
+            else self.interval_index
+        )
         overlap = self._handle_overlap()
         if overlap == "skipped_overlap":
-            return self.record_skip("skipped_overlap")
+            return self.record_skip(
+                "skipped_overlap", interval=interval, advance=not restage
+            )
 
         reader_state = self.coordinator.collect_state()
         snapshot = self.snapshot_manager.take_snapshot(
@@ -405,7 +429,8 @@ class CheckNRun:
             steps=steps,
         )
         pending.advance()  # prime: quantize chunk 1, announce its PUT
-        self.interval_index += 1
+        if not restage:
+            self.interval_index += 1
         return pending
 
     def finish_checkpoint(

@@ -1,5 +1,20 @@
-"""Failure models, traces, injection, and the fleet scheduler."""
+"""Failure models, traces, injection, correlated domains, job queue.
 
+Independent per-job failures come from the Fig 3 models in
+:mod:`.models`/:mod:`.traces` and are injected by :mod:`.injector`;
+correlated rack/power failures (the restore-storm trigger) are planned
+by :mod:`.domains`; :mod:`.scheduler` simulates fleet *occupancy* at
+whole-job granularity.
+"""
+
+from .domains import (
+    DOMAIN_POWER,
+    DOMAIN_RACK,
+    FailureDomain,
+    StormPlan,
+    assign_domains,
+    plan_storm,
+)
 from .injector import FailureEvent, FailureInjector, FailureRunReport
 from .models import (
     HOUR_S,
@@ -15,9 +30,12 @@ from .scheduler import FleetReport, FleetScheduler, Job, make_job_batch
 from .traces import CdfPoint, FailureTrace
 
 __all__ = [
+    "DOMAIN_POWER",
+    "DOMAIN_RACK",
     "HOUR_S",
     "CdfPoint",
     "ExponentialFailures",
+    "FailureDomain",
     "FailureEvent",
     "FailureInjector",
     "FailureModel",
@@ -29,7 +47,10 @@ __all__ = [
     "LogNormalFailures",
     "MixtureFailures",
     "ScheduledFailures",
+    "StormPlan",
     "WeibullFailures",
+    "assign_domains",
     "make_job_batch",
     "paper_failure_model",
+    "plan_storm",
 ]

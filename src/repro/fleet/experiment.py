@@ -9,7 +9,12 @@ them by running whole fleets against one shared store:
 * :func:`fleet_reduction_experiment` — the Fig 17 comparison at fleet
   scale: the same fleet run once as the fp32/full baseline and once
   with Check-N-Run's incremental + quantized policies, yielding the
-  aggregate write-bandwidth and storage-capacity reduction factors.
+  aggregate write-bandwidth and storage-capacity reduction factors;
+* :func:`summarize_tiers` / :func:`format_storm_report` — the
+  priority-tier view of a run: restore-latency distribution, contention
+  degradation, preemption counts and goodput per tier, the table the
+  ``repro fleet --priority-mix/--storm`` CLI and the fleet-storm
+  benchmark emit.
 """
 
 from __future__ import annotations
@@ -17,14 +22,25 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable
 
+import numpy as np
+
 from ..config import FleetConfig
 from ..distributed.clock import SimClock
 from ..errors import FleetError
 from ..metrics.accounting import peak_capacity
-from ..storage.bandwidth import BandwidthArbiter
+from ..storage.bandwidth import (
+    TIER_EXPERIMENTAL,
+    TIER_PROD,
+    BandwidthArbiter,
+)
 from ..storage.object_store import ObjectStore
 from .arbitration import busy_span, interleave_score
-from .jobs import FleetJobSpec, build_fleet_job, sample_fleet_specs
+from .jobs import (
+    FleetJobSpec,
+    RestoreSample,
+    build_fleet_job,
+    sample_fleet_specs,
+)
 from .scheduler import FleetEvent, FleetScheduler
 
 
@@ -33,6 +49,7 @@ class FleetJobResult:
     """One job's outcome inside a fleet run."""
 
     job_id: str
+    tier: str
     policy: str
     quantizer: str
     bit_width: int
@@ -44,14 +61,21 @@ class FleetJobResult:
     admission_deferred: int
     restores: int
     failures: int
+    storm_crashes: int
     torn_writes: int
     scratch_restarts: int
     quota_rejections: int
+    preempted_writes: int
     wasted_batches: int
+    batches_trained: int
+    #: Copied from :attr:`FleetJob.useful_batches` (single source of
+    #: the goodput definition).
+    useful_batches: int
     bytes_logical: int
     bytes_physical: int
     model_fp32_bytes: int
     duration_s: float
+    restore_samples: tuple[RestoreSample, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -72,10 +96,16 @@ class FleetRunReport:
     torn_writes: int
     #: Fig 15 at fleet scale: (window_start, window_end, bytes/sec)
     bandwidth_series: tuple[tuple[float, float, float], ...]
+    #: Correlated-failure outcome: (domain kind, domain id, fired-at
+    #: seconds, affected job ids), or None when no storm was armed/fired.
+    storm: tuple[str, str, float, tuple[str, ...]] | None = None
 
     @property
     def num_jobs(self) -> int:
         return len(self.jobs)
+
+    def jobs_in_tier(self, tier: str) -> tuple[FleetJobResult, ...]:
+        return tuple(j for j in self.jobs if j.tier == tier)
 
 
 def _bandwidth_series(
@@ -124,6 +154,7 @@ def summarize_fleet(
         job_results.append(
             FleetJobResult(
                 job_id=job.job_id,
+                tier=job.tier,
                 policy=job.spec.policy,
                 quantizer=job.spec.quantizer,
                 bit_width=job.spec.bit_width,
@@ -135,14 +166,19 @@ def summarize_fleet(
                 admission_deferred=job.admission_deferred,
                 restores=stats.restores,
                 failures=job.failures_injected,
+                storm_crashes=job.storm_crashes,
                 torn_writes=job.torn_writes,
                 scratch_restarts=job.scratch_restarts,
                 quota_rejections=job.quota_rejections,
+                preempted_writes=job.preempted_writes,
                 wasted_batches=job.wasted_batches,
+                batches_trained=job.total_batches_trained,
+                useful_batches=job.useful_batches,
                 bytes_logical=stats.bytes_written_logical,
                 bytes_physical=stats.bytes_written_physical,
                 model_fp32_bytes=job.model_fp32_bytes(),
                 duration_s=job.clock.now,
+                restore_samples=tuple(job.restore_samples),
             )
         )
     puts = store.log.transfers("put")
@@ -155,6 +191,17 @@ def summarize_fleet(
     total_physical = store.log.total_bytes("put")
     arbiter = store.arbiter
     assert arbiter is not None
+    storm = None
+    if (
+        scheduler.storm_plan is not None
+        and scheduler.storm_fired_at_s is not None
+    ):
+        storm = (
+            scheduler.storm_plan.domain.kind,
+            scheduler.storm_plan.domain.domain_id,
+            scheduler.storm_fired_at_s,
+            scheduler.storm_plan.affected_job_ids,
+        )
     return FleetRunReport(
         jobs=tuple(job_results),
         duration_s=duration,
@@ -171,6 +218,7 @@ def summarize_fleet(
         restores=sum(r.restores for r in job_results),
         torn_writes=sum(r.torn_writes for r in job_results),
         bandwidth_series=_bandwidth_series(store, windows),
+        storm=storm,
     )
 
 
@@ -227,6 +275,123 @@ def format_fleet_report(report: FleetRunReport) -> str:
         lines += ["", "window_start  window_end   agg_put_MiB/s"]
         for lo, hi, bw in report.bandwidth_series:
             lines.append(f"{lo:>12.1f} {hi:>11.1f} {bw / 2**20:>13.3f}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Priority tiers and restore storms
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TierSummary:
+    """One priority tier's aggregate outcome in a fleet run."""
+
+    tier: str
+    num_jobs: int
+    restores: int
+    storm_restores: int
+    preempted_writes: int
+    #: Restore-latency distribution over the tier's storm restores
+    #: (all restores when no storm fired), seconds.
+    restore_latency_p50_s: float
+    restore_latency_p95_s: float
+    restore_latency_max_s: float
+    #: Mean queueing-inflation factor (latency / idle-link service) of
+    #: those restores: 1.0 = uncontended, higher = storm contention.
+    restore_degradation: float
+    #: Fraction of trained batches that survived (were never re-trained
+    #: after a crash) — the CPR-style goodput number.
+    goodput: float
+    #: Useful (non-wasted) batches per simulated second.
+    useful_batches_per_s: float
+
+
+def _latency_stats(samples: list[RestoreSample]) -> tuple[float, ...]:
+    if not samples:
+        return (0.0, 0.0, 0.0, 1.0)
+    latencies = np.asarray([s.latency_s for s in samples])
+    degradation = float(
+        np.mean([s.degradation for s in samples])
+    )
+    return (
+        float(np.quantile(latencies, 0.5)),
+        float(np.quantile(latencies, 0.95)),
+        float(latencies.max()),
+        degradation,
+    )
+
+
+def summarize_tiers(report: FleetRunReport) -> tuple[TierSummary, ...]:
+    """Per-tier restore-latency/preemption/goodput roll-up of a run.
+
+    In a run whose storm fired, restore-latency statistics cover the
+    *storm* restores of every tier (the correlated event is what the
+    tier arbitration exists for) — the choice is global, so the two
+    tiers' columns always describe the same event population. Without
+    a storm they cover all restores. Tiers with no jobs are omitted.
+    """
+    storm_fired = report.storm is not None
+    summaries = []
+    for tier in (TIER_PROD, TIER_EXPERIMENTAL):
+        jobs = report.jobs_in_tier(tier)
+        if not jobs:
+            continue
+        all_samples = [s for j in jobs for s in j.restore_samples]
+        storm_samples = [s for s in all_samples if s.cause == "storm"]
+        samples = storm_samples if storm_fired else all_samples
+        p50, p95, latest, degradation = _latency_stats(samples)
+        trained = sum(j.batches_trained for j in jobs)
+        useful = sum(j.useful_batches for j in jobs)
+        span = max(j.duration_s for j in jobs)
+        summaries.append(
+            TierSummary(
+                tier=tier,
+                num_jobs=len(jobs),
+                restores=sum(j.restores for j in jobs),
+                storm_restores=len(storm_samples),
+                preempted_writes=sum(j.preempted_writes for j in jobs),
+                restore_latency_p50_s=p50,
+                restore_latency_p95_s=p95,
+                restore_latency_max_s=latest,
+                restore_degradation=degradation,
+                goodput=(useful / trained) if trained else 1.0,
+                useful_batches_per_s=(useful / span) if span > 0 else 0.0,
+            )
+        )
+    return tuple(summaries)
+
+
+def format_storm_report(report: FleetRunReport) -> str:
+    """The fleet-storm results table: restore latency/goodput by tier."""
+    lines = []
+    if report.storm is not None:
+        kind, domain_id, fired_at, affected = report.storm
+        lines.append(
+            f"storm: {kind} domain {domain_id} failed at "
+            f"{fired_at:.1f} s, taking down {len(affected)} jobs "
+            f"({', '.join(affected)})"
+        )
+    else:
+        lines.append("storm: none fired (independent failures only)")
+    lines.append("")
+    header = (
+        "tier          jobs  restores  storm  preempt"
+        "  rst_p50_s  rst_p95_s  rst_max_s  degrade  goodput  useful_b/s"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for t in summarize_tiers(report):
+        lines.append(
+            f"{t.tier:<13s} {t.num_jobs:>4d}  {t.restores:>8d}"
+            f"  {t.storm_restores:>5d}  {t.preempted_writes:>7d}"
+            f"  {t.restore_latency_p50_s:>9.3f}"
+            f"  {t.restore_latency_p95_s:>9.3f}"
+            f"  {t.restore_latency_max_s:>9.3f}"
+            f"  {t.restore_degradation:>7.2f}"
+            f"  {t.goodput:>7.3f}"
+            f"  {t.useful_batches_per_s:>10.2f}"
+        )
     return "\n".join(lines)
 
 

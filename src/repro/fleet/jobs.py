@@ -1,17 +1,22 @@
 """Fleet job specs: paper-like heterogeneity, sampled deterministically.
 
 Meta's fleet mixes model sizes spanning orders of magnitude, different
-checkpoint intervals, and different quantization aggressiveness per
-job's expected restore count (paper section 6.2.1). A
-:class:`FleetJobSpec` pins one job's draw from those distributions;
+checkpoint intervals, different quantization aggressiveness per job's
+expected restore count (paper section 6.2.1), and — through its job
+scheduler — different *priority classes*: high-priority production jobs
+versus experimental ones (section 2.2). A :class:`FleetJobSpec` pins one
+job's draw from those distributions, including its priority ``tier``;
 :func:`build_fleet_job` wires the job's full Check-N-Run stack — its own
 clock, dataset, model, trainer and controller — against a *shared*
-object store through a namespaced :class:`~repro.fleet.namespace.ScopedStore`.
+object store through a namespaced
+:class:`~repro.fleet.namespace.ScopedStore`, registering the job's
+transfer stream (weight, quota, tier) with the store's bandwidth
+arbiter.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,6 +35,7 @@ from ..distributed.clock import SimClock
 from ..distributed.trainer import SimTrainer
 from ..experiments.common import build_experiment
 from ..model.dlrm import DLRM
+from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD
 from ..storage.object_store import ObjectStore
 from .namespace import ScopedStore
 
@@ -49,6 +55,33 @@ class FleetJobSpec:
     start_offset_s: float
     seed: int
     failure_seed: int
+    #: Priority class: ``"prod"`` streams get strict link priority and
+    #: may preempt experimental staged writes; ``"experimental"`` is the
+    #: default tier.
+    tier: str = TIER_EXPERIMENTAL
+
+
+def sample_priority_tiers(config: FleetConfig) -> list[str]:
+    """Assign each job a priority tier honouring ``priority_mix``.
+
+    The count of prod jobs is exact — ``round(mix * num_jobs)``, at
+    least one whenever the mix is positive — and *which* jobs are prod
+    is a seeded permutation draw. Tiers use a dedicated RNG stream so
+    changing the mix never perturbs the heterogeneity sampling (model
+    sizes, intervals, failure seeds stay identical across mixes).
+    """
+    if config.priority_mix <= 0.0:
+        return [TIER_EXPERIMENTAL] * config.num_jobs
+    num_prod = int(round(config.priority_mix * config.num_jobs))
+    num_prod = min(config.num_jobs, max(1, num_prod))
+    tier_rng = np.random.default_rng(config.seed ^ 0x71E5)
+    prod_indices = set(
+        tier_rng.permutation(config.num_jobs)[:num_prod].tolist()
+    )
+    return [
+        TIER_PROD if index in prod_indices else TIER_EXPERIMENTAL
+        for index in range(config.num_jobs)
+    ]
 
 
 def sample_fleet_specs(config: FleetConfig) -> list[FleetJobSpec]:
@@ -56,6 +89,7 @@ def sample_fleet_specs(config: FleetConfig) -> list[FleetJobSpec]:
     rng = np.random.default_rng(config.seed)
     weights = np.asarray(config.policy_weights, dtype=np.float64)
     weights = weights / weights.sum()
+    tiers = sample_priority_tiers(config)
     specs = []
     for index in range(config.num_jobs):
         policy = str(
@@ -81,6 +115,7 @@ def sample_fleet_specs(config: FleetConfig) -> list[FleetJobSpec]:
                 ),
                 seed=int(rng.integers(1, 2**31 - 1)),
                 failure_seed=int(rng.integers(1, 2**31 - 1)),
+                tier=tiers[index],
             )
         )
     return specs
@@ -122,6 +157,29 @@ def spec_experiment_config(
     )
 
 
+@dataclass(frozen=True)
+class RestoreSample:
+    """One measured restore through the shared link.
+
+    ``latency_s`` is trigger-to-finish including link queueing;
+    ``service_s`` is the sum of the restore's own GET transfer times —
+    what the restore would have cost on an idle link. Their ratio is the
+    contention *degradation* a storm inflicts, the quantity the per-tier
+    storm table reports.
+    """
+
+    cause: str  # "failure" (independent) or "storm" (correlated)
+    latency_s: float
+    service_s: float
+
+    @property
+    def degradation(self) -> float:
+        """Queueing inflation factor (>= 1 on a serial link)."""
+        if self.service_s <= 0:
+            return 1.0
+        return max(1.0, self.latency_s / self.service_s)
+
+
 @dataclass
 class FleetJob:
     """One running job plus the scheduler's per-job runtime state."""
@@ -146,10 +204,25 @@ class FleetJob:
     wasted_batches: int = 0
     total_batches_trained: int = 0
     scratch_restarts: int = 0
+    preempted_writes: int = 0
+    storm_crashes: int = 0
+    #: A preempted staged write awaiting re-stage (set by the fleet
+    #: scheduler's abort-and-requeue path, cleared on re-stage/crash).
+    requeue_write: bool = False
+    restore_samples: list[RestoreSample] = field(default_factory=list)
 
     @property
     def job_id(self) -> str:
         return self.spec.job_id
+
+    @property
+    def tier(self) -> str:
+        return self.spec.tier
+
+    @property
+    def useful_batches(self) -> int:
+        """Batches trained that were never re-trained after a crash."""
+        return max(0, self.total_batches_trained - self.wasted_batches)
 
     @property
     def intervals_done(self) -> int:
@@ -185,6 +258,7 @@ def build_fleet_job(
             spec.job_id,
             weight=spec.weight,
             quota_bytes=fleet.per_job_quota_bytes,
+            tier=spec.tier,
         )
     exp = build_experiment(
         config,

@@ -16,11 +16,25 @@ several jobs are backlogged behind the link it asks the store's
 goes next (start-time fair queueing). That chunk-level interleaving is
 what turns a serial link into a fair-shared one.
 
+Jobs carry paper-style *priority tiers* (prod vs experimental, section
+2.2). The arbiter serves backlogged prod chunks with strict priority,
+and when a prod transfer still queues longer than
+``FleetConfig.preempt_wait_s`` the scheduler *preempts* experimental
+staged writes: each one is aborted through the controller's
+``abort_pending`` API, its torn chunks scrubbed, and the write re-staged
+(``begin_checkpoint(restage=True)``) once no prod write is in flight.
+
 Failures are injected per job from the same Weibull model behind the
 Fig 3 CDF. A crash mid-write abandons the staged generator, leaving a
 *torn* checkpoint (chunks, no manifest) that the restore path must skip;
 recovery restores the job's newest valid checkpoint through the shared
-link, contending with every other job's in-flight traffic.
+link, contending with every other job's in-flight traffic. On top of
+the independent failures, ``FleetConfig.storm_domain`` arms one
+*correlated* failure (a rack or power domain from
+:mod:`repro.failures.domains`): when fleet progress crosses
+``storm_at_fraction`` every job in the struck domain crashes at once,
+and the resulting restore storm is drained in arbiter order — prod
+restores first, experimental queueing behind them.
 
 (The coarse job-queue model in :mod:`repro.failures.scheduler` simulates
 fleet *occupancy* at whole-job granularity; this scheduler simulates
@@ -43,10 +57,17 @@ from ..errors import (
     CheckpointNotFoundError,
     FleetError,
 )
+from ..failures.domains import StormPlan, assign_domains, plan_storm
 from ..failures.models import WeibullFailures
 from ..failures.traces import FailureTrace
+from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD
 from ..storage.object_store import ObjectStore
-from .jobs import FleetJob, build_fleet_job, sample_fleet_specs
+from .jobs import (
+    FleetJob,
+    RestoreSample,
+    build_fleet_job,
+    sample_fleet_specs,
+)
 
 #: Hard ceiling on scheduler iterations — a stuck event loop raises
 #: instead of spinning forever.
@@ -58,7 +79,7 @@ class FleetEvent:
     """One observable fleet occurrence (for reports and tests)."""
 
     kind: str  # "written", "write_step", "skipped", "deferred",
-    # "crash", or "quota"
+    # "crash", "quota", "preempted", "restaged", or "storm"
     job_id: str
     time_s: float
     payload: dict = field(default_factory=dict)
@@ -118,6 +139,34 @@ class FleetScheduler:
                 job.next_failure_s = job.clock.now + float(
                     times[i % times.size]
                 )
+        self.storm_plan: StormPlan | None = None
+        self.storm_fired_at_s: float | None = None
+        self._storm_trigger_intervals = 0
+        self._progress_high = 0
+        #: Jobs currently being crashed by the storm drain — excluded
+        #: from restore-side preemption (their writes die torn anyway).
+        self._storm_draining: set[str] = set()
+        if config.storm_domain is not None:
+            domains = assign_domains(
+                [job.job_id for job in self.jobs],
+                config.storm_domain,
+                rack_size=config.rack_size,
+                tiers={job.job_id: job.tier for job in self.jobs},
+            )
+            self.storm_plan = plan_storm(
+                domains,
+                config.storm_at_fraction,
+                seed=config.seed ^ 0x5709,
+            )
+            # Measure progress against the *actual* fleet (an injected
+            # jobs list may differ from config.num_jobs/intervals); the
+            # plan's own at_progress is the single trigger source.
+            total_target = sum(
+                job.target_intervals for job in self.jobs
+            )
+            self._storm_trigger_intervals = max(
+                1, int(self.storm_plan.at_progress * total_target)
+            )
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -150,6 +199,12 @@ class FleetScheduler:
         """Jobs with a staged write still submitting PUTs."""
         return sum(1 for job in self.jobs if job.pending is not None)
 
+    def _tier_write_active(self, tier: str) -> bool:
+        return any(
+            job.tier == tier and job.pending is not None
+            for job in self.jobs
+        )
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -158,8 +213,15 @@ class FleetScheduler:
         """Process events until every job trained its target intervals
         and drained its last write."""
         for _ in range(MAX_EVENTS):
+            self._maybe_fire_storm()
             event = self._next_event()
             if event is None:
+                if self._storm_armed():
+                    # Backstop: the fleet is about to drain with the
+                    # armed storm still waiting on a straggler's first
+                    # checkpoint — fire it now rather than never.
+                    self._fire_storm()
+                    continue
                 return
             time_s, kind, job = event
             if job.job_id in self._forced_crashes:
@@ -184,6 +246,7 @@ class FleetScheduler:
         ready chunk claims its link slot before more training runs.
         """
         link_free = self.store.timeline.free_at
+        prod_active = self._tier_write_active(TIER_PROD)
         write_candidates: list[tuple[float, FleetJob]] = []
         train_candidates: list[tuple[float, FleetJob]] = []
         for job in self.jobs:
@@ -194,6 +257,15 @@ class FleetScheduler:
                 # Generator exhausted but bookkeeping outstanding.
                 write_candidates.append((job.clock.now, job))
             if not job.training_done():
+                train_candidates.append((job.clock.now, job))
+            elif (
+                job.requeue_write
+                and job.pending is None
+                and not prod_active
+            ):
+                # A training-done job whose final write was preempted
+                # still owes its re-stage; once prod traffic drains it
+                # gets one more (train-slot) event to submit it.
                 train_candidates.append((job.clock.now, job))
 
         best_write = min(write_candidates, key=lambda e: e[0], default=None)
@@ -232,6 +304,21 @@ class FleetScheduler:
     def _step_write(self, job: FleetJob) -> None:
         pending = job.pending
         assert pending is not None
+        # Tier preemption on the write path: a prod chunk that would
+        # still queue behind the link longer than the configured wait
+        # clears experimental staged writes out of its way.
+        if (
+            job.tier == TIER_PROD
+            and self.config.preempt_staged_writes
+            and pending.next_step is not None
+            and self._tier_write_active(TIER_EXPERIMENTAL)
+        ):
+            wait = (
+                self.store.timeline.free_at
+                - pending.next_step.ready_s
+            )
+            if wait > self.config.preempt_wait_s:
+                self._preempt_experimental_writes(job)
         try:
             step = pending.advance()
         except CapacityExceededError as exc:
@@ -295,12 +382,182 @@ class FleetScheduler:
             job.store.delete(key)
 
     # ------------------------------------------------------------------
+    # Tier preemption (abort-and-requeue)
+    # ------------------------------------------------------------------
+
+    def _preempt_experimental_writes(self, by_job: FleetJob) -> int:
+        """Abort every experimental staged write in favour of prod traffic.
+
+        Each victim's write is abandoned through the controller's
+        ``abort_pending`` API, its already-stored chunks scrubbed (no
+        partial objects survive in the namespace), and the job marked
+        for *requeue*: it re-stages the write — a fresh snapshot under
+        the same interval accounting — once no prod write is in flight.
+        Returns the number of writes preempted.
+        """
+        preempted = 0
+        for other in self.jobs:
+            if other.tier != TIER_EXPERIMENTAL or other.pending is None:
+                continue
+            if other.pending.next_step is None:
+                # Every PUT (chunks and manifest) already occupies the
+                # link; only bookkeeping remains. Aborting now would
+                # destroy a fully-transferred checkpoint and reclaim
+                # zero link time.
+                continue
+            if other.job_id in self._storm_draining:
+                # This job is about to crash in the same storm; its
+                # write dies (torn) with it — preempting it first would
+                # only distort the preemption/torn accounting.
+                continue
+            pending = other.pending
+            other.controller.abort_pending(pending)
+            other.pending = None
+            self._scrub_torn(other, pending.checkpoint_id)
+            other.preempted_writes += 1
+            other.requeue_write = True
+            self.store.arbiter.record_preemption(other.job_id)
+            preempted += 1
+            self._emit(
+                FleetEvent(
+                    "preempted",
+                    other.job_id,
+                    other.clock.now,
+                    {
+                        "by": by_job.job_id,
+                        "checkpoint_id": pending.checkpoint_id,
+                    },
+                )
+            )
+        return preempted
+
+    def _try_restage(self, job: FleetJob) -> bool:
+        """Re-stage a preempted write once prod traffic has drained."""
+        if (
+            not job.requeue_write
+            or job.pending is not None
+            or self._tier_write_active(TIER_PROD)
+        ):
+            return False
+        job.requeue_write = False
+        began = job.controller.begin_checkpoint(restage=True)
+        if isinstance(began, CheckpointEvent):
+            # Previous finished write still in flight: the preempted
+            # checkpoint is simply lost (paper-rule skip).
+            self._emit(
+                FleetEvent("skipped", job.job_id, job.clock.now, {})
+            )
+            return True
+        job.pending = began
+        self._emit(
+            FleetEvent(
+                "restaged",
+                job.job_id,
+                job.clock.now,
+                {"checkpoint_id": began.checkpoint_id},
+            )
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Correlated failures (restore storms)
+    # ------------------------------------------------------------------
+
+    def _storm_armed(self) -> bool:
+        return (
+            self.storm_plan is not None
+            and self.storm_fired_at_s is None
+        )
+
+    def _maybe_fire_storm(self) -> None:
+        """Fire the armed correlated failure once progress crosses it.
+
+        The storm *arms* when fleet progress passes
+        ``storm_at_fraction`` but holds fire until every job in the
+        struck domain owns a restorable checkpoint — the event exists to
+        measure restore-storm contention, and a straggler that would
+        merely reinitialise from scratch adds no read traffic. If that
+        never happens (a straggler still mid-first-write, endless quota
+        rejections) the main loop force-fires the storm just before the
+        fleet would otherwise drain, so an armed storm cannot silently
+        dissolve.
+        """
+        if not self._storm_armed():
+            return
+        progress = sum(
+            min(job.controller.interval_index, job.target_intervals)
+            for job in self.jobs
+        )
+        self._progress_high = max(self._progress_high, progress)
+        if self._progress_high < self._storm_trigger_intervals:
+            return
+        assert self.storm_plan is not None
+        affected_ids = set(self.storm_plan.affected_job_ids)
+        restorable = all(
+            job.controller.valid_manifests()
+            for job in self.jobs
+            if job.job_id in affected_ids
+        )
+        if restorable:
+            self._fire_storm()
+
+    def _fire_storm(self) -> None:
+        """Crash every job in the struck domain; drain the restore storm.
+
+        All affected jobs die at (essentially) the same simulated
+        moment; their restores then contend for the shared link. The
+        drain order is the arbiter's call — strict tier priority first,
+        fair-queueing tags within a tier — so prod recoveries are never
+        starved behind experimental read traffic.
+        """
+        plan = self.storm_plan
+        assert plan is not None
+        affected = {
+            job.job_id: job
+            for job in self.jobs
+            if job.job_id in set(plan.affected_job_ids)
+        }
+        fired_at = max(
+            (job.clock.now for job in affected.values()), default=0.0
+        )
+        self.storm_fired_at_s = fired_at
+        self._emit(
+            FleetEvent(
+                "storm",
+                plan.domain.domain_id,
+                fired_at,
+                {
+                    "kind": plan.domain.kind,
+                    "affected": sorted(affected),
+                },
+            )
+        )
+        self._storm_draining = set(affected)
+        try:
+            while affected:
+                chosen = self.store.arbiter.pick(sorted(affected))
+                job = affected.pop(chosen)
+                self._storm_draining.discard(job.job_id)
+                self._crash(job, cause="storm")
+        finally:
+            self._storm_draining = set()
+
+    # ------------------------------------------------------------------
     # Train path
     # ------------------------------------------------------------------
 
     def _step_train(self, job: FleetJob) -> None:
-        if job.batches_left == 0:
+        if job.batches_left == 0 and not job.training_done():
+            # The boundary check runs before any re-stage attempt: a
+            # fresh interval's checkpoint supersedes a preempted stale
+            # snapshot (never the other way around).
             self._trigger_checkpoint(job)
+            return
+        if self._try_restage(job):
+            return
+        if job.training_done():
+            # Scheduled only to re-stage a preempted final write; never
+            # train past the target.
             return
         job.controller.coordinator.grant_interval(1)
         job.trainer.train_one_batch()
@@ -316,6 +573,9 @@ class FleetScheduler:
 
     def _trigger_checkpoint(self, job: FleetJob) -> None:
         job.batches_left = job.spec.interval_batches
+        # A new interval boundary supersedes any preempted write still
+        # waiting to restage — its snapshot would be stale anyway.
+        job.requeue_write = False
         if job.pending is not None:
             job.controller.record_skip("skipped_overlap")
             self._emit(
@@ -344,8 +604,15 @@ class FleetScheduler:
     # Crash / recovery
     # ------------------------------------------------------------------
 
-    def _crash(self, job: FleetJob) -> None:
-        job.failures_injected += 1
+    def _crash(self, job: FleetJob, cause: str = "failure") -> None:
+        if cause == "storm":
+            # Correlated crashes ride on top of the independent failure
+            # process — they must not consume the job's Weibull
+            # injection budget (max_failures_per_job).
+            job.storm_crashes += 1
+        else:
+            job.failures_injected += 1
+        job.requeue_write = False
         torn_id: str | None = None
         torn_chunks = 0
         if job.pending is not None:
@@ -376,11 +643,41 @@ class FleetScheduler:
             key=lambda row: (row[1], row[2]),
         )
 
+        # Restore-side preemption: a prod job recovering behind a
+        # backlogged link clears experimental staged writes first, so
+        # its checkpoint reads are not interleaved with their chunks.
+        # A prod job with nothing restorable is about to reinitialise
+        # from scratch — no read traffic, so nothing to preempt for.
+        if (
+            job.tier == TIER_PROD
+            and self.config.preempt_staged_writes
+            and self._tier_write_active(TIER_EXPERIMENTAL)
+            and job.controller.valid_manifests()
+            and (
+                self.store.timeline.free_at - job.clock.now
+                > self.config.preempt_wait_s
+            )
+        ):
+            self._preempt_experimental_writes(job)
+
         before = job.model.batches_trained
+        gets_before = len(
+            self.store.log.transfers("get", stream=job.job_id)
+        )
         try:
             report = job.controller.restore_latest()
             restored_from: str | None = report.checkpoint_id
             after = job.model.batches_trained
+            gets = self.store.log.transfers(
+                "get", stream=job.job_id
+            )[gets_before:]
+            job.restore_samples.append(
+                RestoreSample(
+                    cause=cause,
+                    latency_s=report.duration_s,
+                    service_s=sum(t.duration_s for t in gets),
+                )
+            )
         except CheckpointNotFoundError:
             job.model.reinitialize()
             job.reader.restore(
@@ -406,6 +703,7 @@ class FleetScheduler:
                 job.job_id,
                 job.clock.now,
                 {
+                    "cause": cause,
                     "restored_from": restored_from,
                     "torn_checkpoint": torn_id,
                     "torn_chunks": torn_chunks,

@@ -1,4 +1,11 @@
-"""Simulated remote object storage: backends, bandwidth, capacity."""
+"""Simulated remote object storage: backends, bandwidth, capacity.
+
+:mod:`.backends` holds the byte stores (in-memory, file, mirrored,
+crash-injecting); :mod:`.bandwidth` the transfer log, the tier-aware
+fair-queueing :class:`BandwidthArbiter` and per-stream quotas;
+:mod:`.object_store` the timed, replication- and capacity-accounted
+store the checkpoint stack writes through.
+"""
 
 from .backends import (
     Backend,
@@ -8,6 +15,9 @@ from .backends import (
     MirroredBackend,
 )
 from .bandwidth import (
+    TIER_EXPERIMENTAL,
+    TIER_PROD,
+    TIER_RANK,
     BandwidthArbiter,
     StreamState,
     Transfer,
@@ -22,6 +32,9 @@ from .object_store import (
 )
 
 __all__ = [
+    "TIER_EXPERIMENTAL",
+    "TIER_PROD",
+    "TIER_RANK",
     "Backend",
     "BandwidthArbiter",
     "CapacityPoint",

@@ -10,14 +10,23 @@ bandwidth after the fact.
 The fleet extension shares one store between many jobs. Each transfer is
 tagged with its *stream* (one stream per job), and a
 :class:`BandwidthArbiter` decides which backlogged stream's next chunk
-gets the link. The arbiter implements start-time fair queueing at chunk
-granularity — the same discipline packet schedulers use: each stream
-carries a virtual-time tag that advances by ``bytes / weight`` per
-transfer, and the stream with the smallest tag is served next. Over any
-window much longer than one chunk, equal-weight streams converge to
-equal byte shares and a weight-2 stream gets twice the share of a
-weight-1 stream, while the link never moves more than its configured
-bandwidth (it is a single serial resource).
+gets the link. Arbitration is two-level:
+
+* **Priority tiers** (paper section 2.2: production vs experimental
+  jobs). Every stream belongs to a tier — :data:`TIER_PROD` or
+  :data:`TIER_EXPERIMENTAL` — and a backlogged prod stream always wins
+  the link over a backlogged experimental one. The fleet scheduler
+  additionally lets prod traffic *preempt* an experimental job's staged
+  write (abort-and-requeue); the arbiter records those preemptions per
+  stream via :meth:`BandwidthArbiter.record_preemption`.
+* **Start-time fair queueing** within a tier — the same discipline
+  packet schedulers use: each stream carries a virtual-time tag that
+  advances by ``bytes / weight`` per transfer, and the stream with the
+  smallest tag is served next. Over any window much longer than one
+  chunk, equal-weight streams converge to equal byte shares and a
+  weight-2 stream gets twice the share of a weight-1 stream, while the
+  link never moves more than its configured bandwidth (it is a single
+  serial resource).
 
 The arbiter also owns per-stream *capacity quotas*: a job whose live
 physical bytes would exceed its quota has its PUT rejected with
@@ -30,6 +39,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import CapacityExceededError, StorageError
+
+#: Priority tier of production jobs: their backlogged transfers always
+#: beat experimental ones to the link, and they may preempt experimental
+#: staged writes entirely.
+TIER_PROD = "prod"
+#: Priority tier of experimental jobs: served by fair queueing only
+#: when no prod stream is backlogged.
+TIER_EXPERIMENTAL = "experimental"
+
+#: Tier service order on a contended link (lower rank serves first).
+TIER_RANK = {TIER_PROD: 0, TIER_EXPERIMENTAL: 1}
 
 
 @dataclass(frozen=True)
@@ -149,6 +169,10 @@ class StreamState:
 
     stream_id: str
     weight: float = 1.0
+    #: Priority class: prod beats experimental. Experimental is the
+    #: default so an untiered registration can never silently outrank
+    #: a fleet's production streams.
+    tier: str = TIER_EXPERIMENTAL
     quota_bytes: int | None = None  # live physical-byte ceiling
     charged_bytes: int = 0  # live physical bytes attributed
     served_put_bytes: int = 0
@@ -156,6 +180,7 @@ class StreamState:
     virtual_finish: float = 0.0  # SFQ finish tag (weighted bytes)
     transfers: int = 0
     quota_rejections: int = 0
+    preemptions: int = 0  # staged writes of this stream aborted by prod
 
     @property
     def served_bytes(self) -> int:
@@ -163,13 +188,16 @@ class StreamState:
 
 
 class BandwidthArbiter:
-    """Fair-share scheduler and quota ledger for a shared storage link.
+    """Tier-aware fair-share scheduler and quota ledger for a shared link.
 
     The arbiter does not move bytes itself — the store's serial timeline
     does. It decides *order* (:meth:`pick`, used by the fleet scheduler
-    to choose which backlogged job submits its next chunk) and enforces
-    *per-stream capacity quotas* (:meth:`admit_put` /
-    :meth:`credit_delete`, called by the store around each mutation).
+    to choose which backlogged job submits its next chunk or which
+    crashed job restores first during a storm): priority tier first
+    (prod beats experimental), start-time fair queueing within a tier.
+    It also enforces *per-stream capacity quotas* (:meth:`admit_put` /
+    :meth:`credit_delete`, called by the store around each mutation) and
+    keeps the per-stream preemption ledger.
     """
 
     def __init__(self) -> None:
@@ -183,6 +211,7 @@ class BandwidthArbiter:
         stream_id: str,
         weight: float = 1.0,
         quota_bytes: int | None = None,
+        tier: str = TIER_EXPERIMENTAL,
     ) -> StreamState:
         if not stream_id:
             raise StorageError("stream id must be non-empty")
@@ -190,10 +219,17 @@ class BandwidthArbiter:
             raise StorageError(f"stream weight must be > 0, got {weight}")
         if quota_bytes is not None and quota_bytes <= 0:
             raise StorageError("stream quota must be positive")
+        if tier not in TIER_RANK:
+            raise StorageError(
+                f"unknown tier {tier!r}; valid: {tuple(TIER_RANK)}"
+            )
         if stream_id in self._streams:
             raise StorageError(f"stream {stream_id!r} already registered")
         state = StreamState(
-            stream_id=stream_id, weight=weight, quota_bytes=quota_bytes
+            stream_id=stream_id,
+            weight=weight,
+            tier=tier,
+            quota_bytes=quota_bytes,
         )
         self._streams[stream_id] = state
         return state
@@ -212,23 +248,35 @@ class BandwidthArbiter:
     # -- fair queueing -------------------------------------------------
 
     def pick(self, candidates: list[str]) -> str:
-        """The backlogged stream to serve next: smallest SFQ finish tag.
+        """The backlogged stream to serve next: best tier, smallest tag.
 
-        Ties break by stream id for determinism. Streams that have been
-        idle re-enter at the current virtual time (standard SFQ), so an
-        idle period never becomes a credit to burst later.
+        Priority is strict across tiers — a backlogged prod stream is
+        always served before any experimental one. Within the winning
+        tier, start-time fair queueing applies: smallest SFQ finish tag
+        wins, ties break by stream id for determinism. Streams that have
+        been idle re-enter at the current virtual time (standard SFQ),
+        so an idle period never becomes a credit to burst later.
         """
         if not candidates:
             raise StorageError("no candidate streams to pick from")
+        best_rank = min(
+            TIER_RANK[self.stream(s).tier] for s in candidates
+        )
         best: str | None = None
         best_tag = 0.0
         for stream_id in sorted(candidates):
             state = self.stream(stream_id)
+            if TIER_RANK[state.tier] != best_rank:
+                continue
             tag = max(state.virtual_finish, self._virtual_time)
             if best is None or tag < best_tag:
                 best, best_tag = stream_id, tag
         assert best is not None
         return best
+
+    def record_preemption(self, stream_id: str) -> None:
+        """Count a stream's staged write aborted by prod-tier traffic."""
+        self.stream(stream_id).preemptions += 1
 
     def on_transfer(self, stream_id: str, nbytes: int, kind: str) -> None:
         """Advance a stream's virtual tag after it used the link."""

@@ -1,4 +1,9 @@
-"""Operational tooling: CLI, checkpoint inspection, scrubbing."""
+"""Operational tooling: CLI, checkpoint inspection, scrubbing, docs.
+
+The ``repro`` CLI (:mod:`.cli`) runs jobs and fleets and inspects
+stores; :mod:`.docscheck` is the markdown link checker CI runs over
+``README.md`` and ``docs/*.md``.
+"""
 
 from .inspect import (
     CheckpointSummary,

@@ -21,6 +21,7 @@ import json
 import sys
 
 from ..config import (
+    STORM_DOMAINS,
     CheckpointConfig,
     FleetConfig,
     StorageConfig,
@@ -234,6 +235,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable failure injection in the heterogeneous run",
     )
     fleet.add_argument(
+        "--priority-mix", type=float, default=0.0,
+        help="fraction of jobs in the prod priority tier (0 disables "
+        "tiering; prod streams get strict link priority)",
+    )
+    fleet.add_argument(
+        "--storm", choices=list(STORM_DOMAINS), default=None,
+        help="arm one correlated failure: a rack (--rack-size jobs) or "
+        "the whole power domain dies at once mid-run",
+    )
+    fleet.add_argument(
+        "--rack-size", type=int, default=4,
+        help="jobs per rack when assigning rack failure domains",
+    )
+    fleet.add_argument(
+        "--preempt-wait", type=float, default=0.1,
+        help="link backlog (seconds) a prod transfer tolerates before "
+        "preempting experimental staged writes",
+    )
+    fleet.add_argument(
+        "--no-preempt", action="store_true",
+        help="disable prod preemption of experimental staged writes",
+    )
+    fleet.add_argument(
         "--out", default="benchmarks/results",
         help="directory for fleet_aggregate.txt",
     )
@@ -249,12 +273,19 @@ def cmd_figures(args: argparse.Namespace) -> int:
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
-    """Run a heterogeneous fleet + the Fig 17 fleet-aggregate comparison."""
+    """Run a heterogeneous fleet + the Fig 17 fleet-aggregate comparison.
+
+    With ``--priority-mix``/``--storm`` the run also produces the
+    fleet-storm table: restore-latency distribution, contention
+    degradation, preemption counts and goodput per priority tier,
+    written to ``fleet_cli_storm.txt`` next to the aggregate artifact.
+    """
     from pathlib import Path
 
     from ..fleet import (
         fleet_reduction_experiment,
         format_fleet_report,
+        format_storm_report,
         run_fleet,
     )
 
@@ -265,13 +296,25 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         max_concurrent_writes=args.max_concurrent_writes,
         per_job_quota_bytes=args.quota_bytes,
         inject_failures=not args.no_failures,
+        priority_mix=args.priority_mix,
+        storm_domain=args.storm,
+        rack_size=args.rack_size,
+        preempt_wait_s=args.preempt_wait,
+        preempt_staged_writes=not args.no_preempt,
     )
     _, report = run_fleet(config)
     reduction = fleet_reduction_experiment(config)
+    # The aggregate header names every knob that shaped the run, so
+    # the artifact stays reproducible from its own first line.
+    variant = ""
+    if args.priority_mix > 0.0:
+        variant += f", priority mix {args.priority_mix:.2f}"
+    if args.storm is not None:
+        variant += f", storm {args.storm}"
     body = "\n".join(
         [
             f"== Fleet run: {args.jobs} jobs x {args.intervals} "
-            f"intervals (seed {args.seed}) ==",
+            f"intervals (seed {args.seed}{variant}) ==",
             format_fleet_report(report),
             "",
             reduction.format(),
@@ -284,6 +327,21 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     out_path = out_dir / "fleet_cli_aggregate.txt"
     out_path.write_text(body)
     print(f"wrote {out_path}")
+
+    if args.priority_mix > 0.0 or args.storm is not None:
+        storm_body = "\n".join(
+            [
+                f"== Fleet storm run: {args.jobs} jobs, priority mix "
+                f"{args.priority_mix:.2f}, storm "
+                f"{args.storm or 'none'} (seed {args.seed}) ==",
+                format_storm_report(report),
+                "",
+            ]
+        )
+        print(storm_body)
+        storm_path = out_dir / "fleet_cli_storm.txt"
+        storm_path.write_text(storm_body)
+        print(f"wrote {storm_path}")
     return 0
 
 

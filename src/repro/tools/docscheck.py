@@ -1,0 +1,115 @@
+"""Markdown link checker for the repo's documentation surface.
+
+CI runs this over ``README.md`` and ``docs/*.md`` so the documented
+entry points cannot rot: every relative link must resolve to a file (or
+directory) inside the repository, and every intra-document anchor link
+must at least point at a markdown file that exists. External
+``http(s)``/``mailto`` links are skipped — CI must not depend on the
+network.
+
+Usage::
+
+    python -m repro.tools.docscheck [--root REPO_ROOT]
+
+Exit status 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline links: [text](target). Images share the syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link schemes that are not checked (no network in CI).
+_SKIPPED_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_links(markdown: str) -> list[str]:
+    """All inline link targets in a markdown document, in order."""
+    return _LINK_RE.findall(markdown)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken link targets of one markdown file.
+
+    Relative targets resolve against the file's own directory and must
+    stay inside ``root``; a pure ``#anchor`` refers to the file itself
+    and is always fine.
+    """
+    broken = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIPPED_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # intra-document anchor
+        candidate = target.split("#", 1)[0]
+        resolved = (path.parent / candidate).resolve()
+        if not resolved.is_relative_to(root.resolve()):
+            broken.append(f"{target} (escapes the repository)")
+            continue
+        if not resolved.exists():
+            broken.append(target)
+    return broken
+
+
+def default_documents(root: Path) -> list[Path]:
+    """The repo's documentation surface: README.md plus docs/*.md."""
+    documents = []
+    readme = root / "README.md"
+    if readme.exists():
+        documents.append(readme)
+    docs_dir = root / "docs"
+    if docs_dir.is_dir():
+        documents.extend(sorted(docs_dir.glob("*.md")))
+    return documents
+
+
+def check_tree(root: Path) -> dict[str, list[str]]:
+    """Broken links per document (relative path -> targets)."""
+    report: dict[str, list[str]] = {}
+    for document in default_documents(root):
+        broken = check_file(document, root)
+        if broken:
+            report[str(document.relative_to(root))] = broken
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-docscheck",
+        description="check README.md/docs/*.md links resolve",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root)
+    documents = default_documents(root)
+    if not documents:
+        print(f"no documentation found under {root}", file=sys.stderr)
+        return 1
+    report = check_tree(root)
+    for document, broken in sorted(report.items()):
+        for target in broken:
+            print(f"BROKEN LINK {document}: {target}", file=sys.stderr)
+    if report:
+        return 1
+    total = sum(
+        len(iter_links(d.read_text(encoding="utf-8")))
+        for d in documents
+    )
+    print(
+        f"checked {len(documents)} documents, {total} links: all resolve"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+"""The documentation surface stays sound: links resolve, docs exist.
+
+Guards the satellite promise of the docs PR — a README and docs pages
+whose relative links cannot rot — by running the same checker CI uses
+(:mod:`repro.tools.docscheck`) against the repository itself, plus unit
+coverage of the checker's parsing and escape handling.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.tools.docscheck import (
+    check_file,
+    check_tree,
+    default_documents,
+    iter_links,
+    main,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestLinkParsing:
+    def test_iter_links_finds_inline_targets(self):
+        md = "See [a](docs/a.md) and ![img](x.png) but not `[b](c)`-ish"
+        assert iter_links(md) == ["docs/a.md", "x.png", "c"]
+
+    def test_external_and_anchor_links_are_skipped(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "[web](https://example.com) [mail](mailto:a@b.c) "
+            "[anchor](#section)"
+        )
+        assert check_file(doc, tmp_path) == []
+
+    def test_broken_relative_link_is_reported(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("[missing](nope.md) [ok](doc.md)")
+        assert check_file(doc, tmp_path) == ["nope.md"]
+
+    def test_anchor_suffix_on_existing_file_resolves(self, tmp_path):
+        (tmp_path / "other.md").write_text("# t")
+        doc = tmp_path / "doc.md"
+        doc.write_text("[sec](other.md#t)")
+        assert check_file(doc, tmp_path) == []
+
+    def test_link_escaping_the_repo_is_reported(self, tmp_path):
+        root = tmp_path / "repo"
+        root.mkdir()
+        doc = root / "doc.md"
+        doc.write_text("[up](../outside.md)")
+        (tmp_path / "outside.md").write_text("exists but outside")
+        broken = check_file(doc, root)
+        assert broken and "escapes" in broken[0]
+
+
+class TestRepositoryDocs:
+    def test_readme_and_docs_exist(self):
+        documents = {
+            p.relative_to(REPO_ROOT).as_posix()
+            for p in default_documents(REPO_ROOT)
+        }
+        assert "README.md" in documents
+        assert "docs/architecture.md" in documents
+        assert "docs/fleet.md" in documents
+
+    def test_all_repository_doc_links_resolve(self):
+        assert check_tree(REPO_ROOT) == {}
+
+    def test_cli_entry_point_passes_on_this_repo(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        assert "all resolve" in out
+
+    def test_cli_reports_broken_links(self, tmp_path, capsys):
+        (tmp_path / "README.md").write_text("[x](gone.md)")
+        assert main(["--root", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "BROKEN LINK" in err

@@ -1,0 +1,393 @@
+"""Priority tiers, preemption, and restore storms on the shared store.
+
+The paper's fleet distinguishes high-priority production jobs from
+experimental ones (section 2.2). These tests pin the tier invariants:
+
+* the arbiter serves backlogged prod streams with strict priority and
+  fair-queues within a tier;
+* a preempted (abort-and-requeue) experimental staged write leaves no
+  partial objects behind in its namespace;
+* during a correlated restore storm, prod restores are never starved
+  behind experimental read traffic;
+* tier sampling and storm outcomes are deterministic under a seed and
+  orthogonal to the heterogeneity sampling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import FailureConfig, FleetConfig, MiB, StorageConfig
+from repro.errors import StorageError
+from repro.experiments.common import build_experiment, small_config
+from repro.failures.domains import (
+    DOMAIN_POWER,
+    DOMAIN_RACK,
+    StormPlan,
+    assign_domains,
+    plan_storm,
+)
+from repro.fleet import (
+    TIER_EXPERIMENTAL,
+    TIER_PROD,
+    run_fleet,
+    sample_fleet_specs,
+    summarize_tiers,
+)
+from repro.storage.bandwidth import BandwidthArbiter
+
+
+def tiered_fleet_config(**overrides) -> FleetConfig:
+    """A contended tiered fleet on a slow link (storm-ready)."""
+    defaults = dict(
+        num_jobs=8,
+        intervals_per_job=3,
+        seed=4321,
+        rows_per_table_choices=(1024, 2048, 4096),
+        storage=StorageConfig(
+            write_bandwidth=1.5 * MiB,
+            read_bandwidth=3.0 * MiB,
+            replication_factor=2,
+            latency_s=0.002,
+        ),
+        failures=FailureConfig(min_failure_s=0.0),
+        inject_failures=False,
+        stagger_s=5.0,
+        priority_mix=0.375,
+        preempt_wait_s=0.0,  # preempt on any prod queueing
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def homogeneous_storm_config(**overrides) -> FleetConfig:
+    """Identical jobs except tier, so restore latencies compare 1:1."""
+    defaults = dict(
+        rows_per_table_choices=(2048,),
+        num_tables_choices=(2,),
+        policy_choices=("one_shot",),
+        policy_weights=(1.0,),
+        quantizer_choices=("adaptive",),
+        bit_width_choices=(4,),
+        intervals_per_job=6,
+        interval_batches_choices=(12,),
+        stagger_s=0.0,
+        priority_mix=0.5,
+        storm_domain="power",
+        # Isolate *read-side* tier arbitration: with write preemption
+        # on, four synchronized prod writers would keep experimental
+        # checkpoints from ever landing, and the storm could only
+        # force-fire onto scratch restarts.
+        preempt_staged_writes=False,
+    )
+    defaults.update(overrides)
+    return tiered_fleet_config(**defaults)
+
+
+class TestArbiterTiers:
+    def test_prod_stream_always_beats_experimental(self):
+        arbiter = BandwidthArbiter()
+        arbiter.register("exp", tier=TIER_EXPERIMENTAL)
+        arbiter.register("prod", tier=TIER_PROD)
+        # Give prod far more past service than exp: strict priority
+        # must still pick it over the experimental stream.
+        arbiter.on_transfer("prod", 10_000_000, "put")
+        assert arbiter.pick(["exp", "prod"]) == "prod"
+        # Within a tier, fair queueing still applies.
+        arbiter.register("prod2", tier=TIER_PROD)
+        assert arbiter.pick(["prod", "prod2"]) == "prod2"
+
+    def test_default_registration_is_experimental_tier(self):
+        """An untiered registration must never silently outrank a
+        fleet's production streams."""
+        arbiter = BandwidthArbiter()
+        state = arbiter.register("solo")
+        assert state.tier == TIER_EXPERIMENTAL
+
+    def test_unknown_tier_rejected(self):
+        arbiter = BandwidthArbiter()
+        with pytest.raises(StorageError):
+            arbiter.register("job", tier="platinum")
+
+    def test_preemption_ledger(self):
+        arbiter = BandwidthArbiter()
+        arbiter.register("victim", tier=TIER_EXPERIMENTAL)
+        arbiter.record_preemption("victim")
+        arbiter.record_preemption("victim")
+        assert arbiter.stream("victim").preemptions == 2
+
+
+class TestTierSampling:
+    def test_mix_zero_is_all_experimental(self):
+        specs = sample_fleet_specs(tiered_fleet_config(priority_mix=0.0))
+        assert {s.tier for s in specs} == {TIER_EXPERIMENTAL}
+
+    def test_mix_rounds_to_exact_prod_count(self):
+        specs = sample_fleet_specs(
+            tiered_fleet_config(priority_mix=0.375)
+        )
+        assert sum(s.tier == TIER_PROD for s in specs) == 3
+
+    def test_small_positive_mix_keeps_at_least_one_prod(self):
+        specs = sample_fleet_specs(
+            tiered_fleet_config(priority_mix=0.01)
+        )
+        assert sum(s.tier == TIER_PROD for s in specs) == 1
+
+    def test_mix_is_orthogonal_to_heterogeneity_sampling(self):
+        """Changing the mix must not reshuffle model sizes/intervals."""
+        base = sample_fleet_specs(tiered_fleet_config(priority_mix=0.0))
+        mixed = sample_fleet_specs(
+            tiered_fleet_config(priority_mix=0.5)
+        )
+        for a, b in zip(base, mixed):
+            assert (
+                a.num_tables,
+                a.rows_per_table,
+                a.interval_batches,
+                a.policy,
+                a.quantizer,
+                a.seed,
+                a.failure_seed,
+            ) == (
+                b.num_tables,
+                b.rows_per_table,
+                b.interval_batches,
+                b.policy,
+                b.quantizer,
+                b.seed,
+                b.failure_seed,
+            )
+
+
+class TestFailureDomains:
+    def test_power_domain_covers_the_fleet(self):
+        domains = assign_domains(["a", "b", "c"], DOMAIN_POWER)
+        assert len(domains) == 1
+        assert domains[0].job_ids == ("a", "b", "c")
+
+    def test_racks_are_tier_stratified(self):
+        job_ids = [f"job{i}" for i in range(8)]
+        tiers = {
+            j: (TIER_PROD if i < 2 else TIER_EXPERIMENTAL)
+            for i, j in enumerate(job_ids)
+        }
+        domains = assign_domains(
+            job_ids, DOMAIN_RACK, rack_size=4, tiers=tiers
+        )
+        assert len(domains) == 2
+        for domain in domains:
+            assert sum(
+                tiers[j] == TIER_PROD for j in domain.job_ids
+            ) == 1
+
+    def test_plan_storm_is_seed_deterministic(self):
+        domains = assign_domains(
+            [f"job{i}" for i in range(8)], DOMAIN_RACK, rack_size=2
+        )
+        first = plan_storm(domains, 0.5, seed=7)
+        second = plan_storm(domains, 0.5, seed=7)
+        assert first == second
+
+    def test_storm_plan_validates_progress(self):
+        domains = assign_domains(["a"], DOMAIN_POWER)
+        with pytest.raises(Exception):
+            StormPlan(domains[0], 1.5)
+
+
+class TestControllerRestage:
+    def test_restage_keeps_interval_accounting(self):
+        exp = build_experiment(small_config(interval_batches=5))
+        exp.controller.run_intervals(1)
+        # Let the first interval's write land so the next begin stages.
+        exp.clock.advance_to(exp.store.timeline.free_at + 1.0, "drain")
+        began = exp.controller.begin_checkpoint()
+        index_after_begin = exp.controller.interval_index
+        exp.controller.abort_pending(began)
+        restaged = exp.controller.begin_checkpoint(restage=True)
+        assert exp.controller.interval_index == index_after_begin
+        while restaged.advance() is not None:
+            pass
+        event = exp.controller.finish_checkpoint(restaged)
+        assert event.manifest is not None
+        assert (
+            event.manifest.interval_index == began.interval_index
+        )
+
+
+class TestPreemptionInvariants:
+    @pytest.fixture(scope="class")
+    def preempting_run(self):
+        return run_fleet(tiered_fleet_config())
+
+    def test_preemptions_happen_and_only_hit_experimental(
+        self, preempting_run
+    ):
+        scheduler, report = preempting_run
+        preempted = [
+            e for e in scheduler.events if e.kind == "preempted"
+        ]
+        assert preempted, "no preemption under zero wait threshold"
+        tiers = {j.job_id: j.tier for j in report.jobs}
+        for event in preempted:
+            assert tiers[event.job_id] == TIER_EXPERIMENTAL
+        assert all(
+            j.preempted_writes == 0
+            for j in report.jobs
+            if j.tier == TIER_PROD
+        )
+
+    def test_aborted_staged_writes_leave_no_partial_objects(
+        self, preempting_run
+    ):
+        """A preempted checkpoint's chunks are scrubbed immediately:
+        nothing with its prefix survives in the job's namespace."""
+        scheduler, _ = preempting_run
+        preempted_prefixes = {
+            f"{e.job_id}/{e.payload['checkpoint_id']}/"
+            for e in scheduler.events
+            if e.kind == "preempted"
+        }
+        assert preempted_prefixes
+        for key in scheduler.store.list_keys():
+            assert not any(
+                key.startswith(p) for p in preempted_prefixes
+            ), f"partial object {key} from a preempted write"
+
+    def test_store_holds_only_manifested_checkpoints(
+        self, preempting_run
+    ):
+        scheduler, _ = preempting_run
+        manifest_prefixes = {
+            "/".join(key.split("/")[:2])
+            for key in scheduler.store.list_keys()
+            if key.endswith("/manifest.json")
+        }
+        for key in scheduler.store.list_keys():
+            prefix = "/".join(key.split("/")[:2])
+            assert prefix in manifest_prefixes, (
+                f"orphaned object {key} from a torn/preempted write"
+            )
+
+    def test_preempted_jobs_still_finish_their_intervals(
+        self, preempting_run
+    ):
+        scheduler, report = preempting_run
+        for job in scheduler.jobs:
+            assert job.controller.interval_index >= job.target_intervals
+            assert job.pending is None
+        restaged = [
+            e for e in scheduler.events if e.kind == "restaged"
+        ]
+        assert restaged, "no preempted write was ever re-staged"
+
+    def test_preempted_final_write_is_still_restaged(self):
+        """A job whose *last* write is preempted after its training is
+        done must still get a re-stage slot once prod traffic drains —
+        the flag can never dangle past the end of the run."""
+        _scheduler, _ = run_fleet(
+            tiered_fleet_config(
+                num_jobs=6,
+                intervals_per_job=2,
+                seed=3,
+                priority_mix=0.4,
+            )
+        )
+        for job in _scheduler.jobs:
+            assert not job.requeue_write
+            assert job.pending is None
+
+    def test_arbiter_and_report_preemption_counts_agree(
+        self, preempting_run
+    ):
+        scheduler, report = preempting_run
+        events = sum(
+            1 for e in scheduler.events if e.kind == "preempted"
+        )
+        by_arbiter = sum(
+            s.preemptions for s in scheduler.store.arbiter.streams()
+        )
+        by_report = sum(j.preempted_writes for j in report.jobs)
+        assert events == by_arbiter == by_report
+
+
+class TestRestoreStorm:
+    @pytest.fixture(scope="class")
+    def storm_run(self):
+        return run_fleet(homogeneous_storm_config())
+
+    def test_storm_fires_and_takes_down_the_domain(self, storm_run):
+        scheduler, report = storm_run
+        assert report.storm is not None
+        kind, _domain, fired_at, affected = report.storm
+        assert kind == "power"
+        assert set(affected) == {j.job_id for j in report.jobs}
+        assert fired_at > 0
+        storms = [e for e in scheduler.events if e.kind == "storm"]
+        assert len(storms) == 1
+
+    def test_storm_drains_prod_restores_first(self, storm_run):
+        """The arbiter orders the restore storm strictly tier-first."""
+        scheduler, report = storm_run
+        tiers = {j.job_id: j.tier for j in report.jobs}
+        storm_crashes = [
+            e
+            for e in scheduler.events
+            if e.kind == "crash" and e.payload["cause"] == "storm"
+        ]
+        assert storm_crashes
+        ranks = [
+            0 if tiers[e.job_id] == TIER_PROD else 1
+            for e in storm_crashes
+        ]
+        assert ranks == sorted(ranks), (
+            "an experimental restore was served before a prod one"
+        )
+
+    def test_prod_restores_are_never_starved(self, storm_run):
+        """Fair-share floor: a prod restore only ever queues behind
+        *other prod* restores, so its latency is bounded by the prod
+        cohort's own service time — experimental read traffic cannot
+        starve it, no matter how many experimental jobs crashed."""
+        _, report = storm_run
+        prod_samples = [
+            s
+            for j in report.jobs_in_tier(TIER_PROD)
+            for s in j.restore_samples
+            if s.cause == "storm"
+        ]
+        exp_samples = [
+            s
+            for j in report.jobs_in_tier(TIER_EXPERIMENTAL)
+            for s in j.restore_samples
+            if s.cause == "storm"
+        ]
+        assert prod_samples and exp_samples
+        # Small slack absorbs sub-millisecond clock skew between the
+        # crashed prods (each measures latency from its own clock).
+        prod_cohort_service = sum(s.service_s for s in prod_samples)
+        for sample in prod_samples:
+            assert sample.latency_s <= prod_cohort_service + 1e-3
+
+    def test_prod_degradation_below_experimental(self, storm_run):
+        _, report = storm_run
+        tiers = {t.tier: t for t in summarize_tiers(report)}
+        assert (
+            tiers[TIER_PROD].restore_degradation
+            < tiers[TIER_EXPERIMENTAL].restore_degradation
+        )
+
+    def test_storm_outcome_is_deterministic(self):
+        config = homogeneous_storm_config()
+        _, first = run_fleet(config)
+        _, second = run_fleet(config)
+        assert first == second
+
+    def test_rack_storm_strikes_a_strict_subset(self):
+        config = homogeneous_storm_config(
+            storm_domain="rack", rack_size=4
+        )
+        _, report = config and run_fleet(config)
+        assert report.storm is not None
+        _, _, _, affected = report.storm
+        assert 0 < len(affected) < report.num_jobs
