@@ -1,0 +1,228 @@
+"""B1 — backend op classes: per-class latency/throughput + multipart.
+
+Not a paper figure: this bench characterises the request-oriented
+storage backend the reproduction grew beyond the paper. It emits
+
+* a per-op-class table (PUT/GET/LIST/DELETE/HEAD) of mean request
+  latency and data-plane throughput against the S3-style
+  ``RemoteObjectBackend``;
+* the multipart-amortisation comparison the API redesign exists for:
+  the same checkpoint-sized payload PUT single-shot, multipart over a
+  single upload lane, and multipart fanned out over parallel lanes —
+  at identical link bandwidth, the wall times differ measurably
+  because per-part request latency is serial in one case and
+  overlapped in the other;
+* the ranged-GET equivalent on the restore path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MiB, StorageConfig
+from repro.distributed.clock import SimClock
+from repro.storage import (
+    OP_CLASSES,
+    OP_DELETE,
+    OP_GET,
+    OP_HEAD,
+    OP_LIST,
+    OP_PUT,
+    ObjectStore,
+    RemoteObjectBackend,
+    s3like_costs,
+)
+
+TITLE = "B1 - backend op classes: request latency/throughput, multipart"
+
+#: Link bandwidths for the bench: 100 MiB/s writes, 200 MiB/s reads.
+WRITE_BW = 100.0 * MiB
+READ_BW = 200.0 * MiB
+
+#: Per-request latencies (seconds) — same-region object store figures.
+LATENCIES = {
+    OP_PUT: 0.030,
+    OP_GET: 0.020,
+    OP_LIST: 0.040,
+    OP_DELETE: 0.015,
+    OP_HEAD: 0.010,
+}
+
+
+def make_store(part_size=None, fanout=4, range_get=None) -> ObjectStore:
+    config = StorageConfig(
+        write_bandwidth=WRITE_BW,
+        read_bandwidth=READ_BW,
+        replication_factor=1,
+        latency_s=0.0,
+    )
+    backend = RemoteObjectBackend(
+        s3like_costs(
+            WRITE_BW,
+            READ_BW,
+            put_latency_s=LATENCIES[OP_PUT],
+            get_latency_s=LATENCIES[OP_GET],
+            list_latency_s=LATENCIES[OP_LIST],
+            delete_latency_s=LATENCIES[OP_DELETE],
+            head_latency_s=LATENCIES[OP_HEAD],
+        ),
+        part_size_bytes=part_size,
+        fanout=fanout,
+        range_get_bytes=range_get,
+    )
+    return ObjectStore(config, SimClock(), backend=backend)
+
+
+def test_backend_op_classes(report):
+    """One artifact, three sections: per-class costs, multipart PUT
+    amortisation, ranged-GET fan-out (the module's report fixture emits
+    a single file, so the sections share one test)."""
+    _per_op_class_costs(report)
+    report.row("")
+    _multipart_amortisation(report)
+    report.row("")
+    _ranged_get_amortisation(report)
+
+
+def _per_op_class_costs(report):
+    """Mean latency and throughput per op class, from receipts."""
+    store = make_store()
+    object_bytes = 256 * 1024
+    for i in range(8):
+        store.put(f"bench/obj{i:02d}", bytes(object_bytes))
+    for i in range(8):
+        store.get(f"bench/obj{i:02d}")
+    for i in range(8):
+        store.exists(f"bench/obj{i:02d}")
+    store.list_keys("bench/")
+    for i in range(8):
+        store.delete(f"bench/obj{i:02d}")
+
+    rows = []
+    for op in OP_CLASSES:
+        receipts = store.ops.receipts(op)
+        assert receipts, f"no {op} receipts recorded"
+        mean_s = sum(r.duration_s for r in receipts) / len(receipts)
+        data = [r for r in receipts if r.physical_bytes > 0]
+        if data and op in (OP_PUT, OP_GET):
+            thru = sum(r.throughput for r in data) / len(data)
+            thru_col = f"{thru / MiB:>10.1f}"
+        else:
+            thru_col = f"{'-':>10s}"
+        rows.append(
+            f"{op:<8s} {len(receipts):>5d} {mean_s * 1000:>12.2f}"
+            f" {thru_col}"
+        )
+        # Receipts reproduce the configured base latency exactly for
+        # control-plane classes (no queueing in this serial workload).
+        if op in (OP_HEAD, OP_DELETE):
+            assert mean_s == pytest.approx(LATENCIES[op])
+    report.row(
+        f"remote backend: {WRITE_BW / MiB:.0f} MiB/s write / "
+        f"{READ_BW / MiB:.0f} MiB/s read link, "
+        f"{object_bytes // 1024} KiB objects"
+    )
+    report.table("op       count  mean_lat_ms  thru_MiB/s", rows)
+
+    # PUT/GET receipts include the per-byte streaming time.
+    put_mean = store.ops.mean_duration_s(OP_PUT)
+    assert put_mean == pytest.approx(
+        LATENCIES[OP_PUT] + object_bytes / WRITE_BW
+    )
+    get_mean = store.ops.mean_duration_s(OP_GET)
+    assert get_mean == pytest.approx(
+        LATENCIES[OP_GET] + object_bytes / READ_BW
+    )
+
+
+def _multipart_amortisation(report):
+    """Same payload, same bandwidth: single-shot vs multipart wall time.
+
+    The acceptance property of the API redesign: multipart PUT shows a
+    *measurably different* wall time than a single-shot PUT at the same
+    link bandwidth — slower by one completion request when parts fan
+    out (latency amortised), slower by every part's latency when they
+    cannot.
+    """
+    payload = bytes(8 * MiB)
+    part = 1 * MiB
+
+    single = make_store(part_size=None).put("ckpt", payload)
+    serial = make_store(part_size=part, fanout=1).put("ckpt", payload)
+    fanned = make_store(part_size=part, fanout=4).put("ckpt", payload)
+
+    byte_time = len(payload) / WRITE_BW
+    report.row(
+        f"payload {len(payload) // MiB} MiB, parts of {part // MiB} MiB, "
+        f"link byte time {byte_time:.3f} s, "
+        f"PUT latency {LATENCIES[OP_PUT] * 1000:.0f} ms"
+    )
+    rows = [
+        f"{'single-shot':<22s} {1:>5d} {single.duration_s:>9.3f}"
+        f" {single.duration_s - byte_time:>12.3f}",
+        f"{'multipart fanout=1':<22s} {serial.parts:>5d}"
+        f" {serial.duration_s:>9.3f}"
+        f" {serial.duration_s - byte_time:>12.3f}",
+        f"{'multipart fanout=4':<22s} {fanned.parts:>5d}"
+        f" {fanned.duration_s:>9.3f}"
+        f" {fanned.duration_s - byte_time:>12.3f}",
+    ]
+    report.table("upload mode            parts    wall_s  lat_overhead", rows)
+
+    assert serial.parts == 8 and fanned.parts == 8
+    # Measurably different wall time at the same bandwidth.
+    assert abs(fanned.duration_s - single.duration_s) > 0.02
+    assert abs(serial.duration_s - single.duration_s) > 0.2
+    # Fan-out amortises per-part latency: only the first part's latency
+    # plus the completion request are exposed...
+    assert fanned.duration_s == pytest.approx(
+        byte_time + 2 * LATENCIES[OP_PUT]
+    )
+    # ...while a single lane pays every part's latency serially.
+    assert serial.duration_s == pytest.approx(
+        byte_time + (8 + 1) * LATENCIES[OP_PUT]
+    )
+    report.row(
+        "fanout hides per-part request latency behind the link's byte "
+        "time; a single lane exposes all of it"
+    )
+
+
+def _ranged_get_amortisation(report):
+    """Restore-side mirror image: whole GET vs ranged sub-GET fan-out."""
+    payload = bytes(8 * MiB)
+    window = 1 * MiB
+
+    whole_store = make_store()
+    whole_store.put("ckpt", payload)
+    whole_store.get("ckpt")
+    whole = whole_store.ops.receipts(OP_GET)[-1]
+
+    ranged_store = make_store(range_get=window, fanout=4)
+    ranged_store.put("ckpt", payload)
+    assert ranged_store.get("ckpt") == payload
+    ranged = ranged_store.ops.receipts(OP_GET)[-1]
+
+    byte_time = len(payload) / READ_BW
+    rows = [
+        f"{'whole-object GET':<22s} {whole.parts:>5d}"
+        f" {whole.duration_s:>9.3f}",
+        f"{'ranged GET fanout=4':<22s} {ranged.parts:>5d}"
+        f" {ranged.duration_s:>9.3f}",
+    ]
+    report.table("read mode              parts    wall_s", rows)
+    assert ranged.parts == 8
+    assert whole.duration_s == pytest.approx(
+        byte_time + LATENCIES[OP_GET]
+    )
+    # Ranged fan-out exposes the first GET latency plus the latency
+    # bubbles the lanes cannot hide when per-range byte time (5 ms) is
+    # shorter than the request latency (20 ms): with 4 lanes the second
+    # round of ranges waits (latency - 3 windows) = 5 ms on the link.
+    window_time = window / READ_BW
+    bubble = LATENCIES[OP_GET] - (4 - 1) * window_time
+    assert ranged.duration_s == pytest.approx(
+        LATENCIES[OP_GET] + 8 * window_time + bubble
+    )
+    assert whole.duration_s <= ranged.duration_s
+    assert ranged.duration_s <= whole.duration_s + LATENCIES[OP_GET]

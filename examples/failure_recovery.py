@@ -16,6 +16,7 @@ Run:  python examples/failure_recovery.py
 
 from __future__ import annotations
 
+from repro.config import BackendConfig
 from repro.experiments import build_experiment, small_config
 from repro.failures import (
     ExponentialFailures,
@@ -24,22 +25,27 @@ from repro.failures import (
     make_job_batch,
     paper_failure_model,
 )
+from repro.storage import make_backend
 
 
 def micro_injection() -> None:
     print("== micro: one training job under failure injection ==")
     print(f"{'interval':>10s} {'failures':>9s} {'wasted':>7s} {'goodput':>8s}")
     for interval_batches in (4, 8, 16):
-        exp = build_experiment(
-            small_config(
-                interval_batches=interval_batches,
-                num_tables=3,
-                rows_per_table=2048,
-                batch_size=64,
-                quantizer="asymmetric",
-                bit_width=8,
-            )
+        config = small_config(
+            interval_batches=interval_batches,
+            num_tables=3,
+            rows_per_table=2048,
+            batch_size=64,
+            quantizer="asymmetric",
+            bit_width=8,
         )
+        # Replicated remote storage via the config-driven backend
+        # factory — the availability property restores depend on.
+        backend = make_backend(
+            BackendConfig(kind="mirrored", replicas=2), config.storage
+        )
+        exp = build_experiment(config, backend=backend)
         injector = FailureInjector(
             exp.controller,
             ExponentialFailures(4.0),  # MTTF of 4 simulated seconds

@@ -15,7 +15,9 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
+from repro.config import BackendConfig
 from repro.experiments import build_experiment, small_config
+from repro.storage import make_backend
 
 
 def main() -> None:
@@ -27,7 +29,11 @@ def main() -> None:
         num_tables=4,
         rows_per_table=8192,
     )
-    exp = build_experiment(config)
+    # Backends are config-built: swap kind="memory" for "file",
+    # "mirrored" or "s3like" (request-costed, multipart) without
+    # touching any other wiring.
+    backend = make_backend(BackendConfig(kind="memory"), config.storage)
+    exp = build_experiment(config, backend=backend)
 
     print("== training 4 checkpoint intervals ==")
     reports = exp.controller.run_intervals(4)

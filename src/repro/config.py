@@ -165,6 +165,87 @@ class ClusterConfig:
         return self.num_nodes * self.devices_per_node
 
 
+#: Valid backend kinds for the BackendConfig factory
+#: (see repro.storage.factory.make_backend).
+BACKEND_KINDS = ("memory", "file", "mirrored", "s3like")
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Which byte backend a store uses, and its request-cost knobs.
+
+    ``kind`` selects the backend class; the remaining fields only apply
+    where they make sense (``root`` for ``file``, ``replicas`` for
+    ``mirrored``, the per-op-class latencies / multipart / ranged-GET
+    knobs for ``s3like``). In-process kinds keep the legacy
+    config-derived timing (one fixed latency + link bandwidths);
+    ``s3like`` owns per-class request latencies, optional jitter and
+    tail inflation, multipart upload and ranged GETs.
+    """
+
+    kind: str = "memory"
+    #: Directory for the ``file`` backend (required for that kind).
+    root: str | None = None
+    #: Synchronous replicas for the ``mirrored`` kind.
+    replicas: int = 2
+    # -- s3like per-op-class request latencies (seconds) ---------------
+    put_latency_s: float = 0.030
+    get_latency_s: float = 0.020
+    list_latency_s: float = 0.040
+    delete_latency_s: float = 0.015
+    head_latency_s: float = 0.010
+    #: LIST pays this much per key returned on top of its base latency.
+    list_per_key_s: float = 0.0002
+    #: Uniform extra request latency in [0, jitter_s); 0 = deterministic.
+    jitter_s: float = 0.0
+    #: Probability a request is a tail straggler, and the base-latency
+    #: multiplier it then pays.
+    tail_prob: float = 0.0
+    tail_factor: float = 4.0
+    # -- multipart / ranged GET ----------------------------------------
+    #: Objects larger than this upload as multipart parts of this size
+    #: (None = single-shot PUTs only).
+    part_size_bytes: int | None = None
+    #: Parallel request lanes for multipart parts / ranged sub-GETs.
+    multipart_fanout: int = 4
+    #: GETs larger than this split into ranged sub-GETs (None = whole).
+    range_get_bytes: int | None = None
+    #: Seed for the backend's jitter/tail RNG.
+    seed: int = 0x53AC
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in BACKEND_KINDS,
+            f"unknown backend kind {self.kind!r}; valid: {BACKEND_KINDS}",
+        )
+        _require(self.replicas >= 1, "replicas must be >= 1")
+        for name in (
+            "put_latency_s",
+            "get_latency_s",
+            "list_latency_s",
+            "delete_latency_s",
+            "head_latency_s",
+            "list_per_key_s",
+            "jitter_s",
+        ):
+            _require(
+                getattr(self, name) >= 0, f"{name} must be >= 0"
+            )
+        _require(0.0 <= self.tail_prob <= 1.0, "tail_prob in [0, 1]")
+        _require(self.tail_factor >= 1.0, "tail_factor must be >= 1")
+        if self.part_size_bytes is not None:
+            _require(
+                self.part_size_bytes >= 1,
+                "part_size_bytes must be positive",
+            )
+        _require(self.multipart_fanout >= 1, "multipart_fanout >= 1")
+        if self.range_get_bytes is not None:
+            _require(
+                self.range_get_bytes >= 1,
+                "range_get_bytes must be positive",
+            )
+
+
 @dataclass(frozen=True)
 class StorageConfig:
     """Remote object-store simulation settings."""
@@ -174,6 +255,10 @@ class StorageConfig:
     replication_factor: int = 3
     capacity_bytes: int | None = None
     latency_s: float = 0.010  # per-operation fixed latency
+    #: Byte backend selection + request-cost knobs. In-process kinds
+    #: inherit the flat latency/bandwidth timing above; the ``s3like``
+    #: kind carries its own per-op-class cost models.
+    backend: BackendConfig = field(default_factory=BackendConfig)
 
     def __post_init__(self) -> None:
         _require(self.write_bandwidth > 0, "write bandwidth must be > 0")
@@ -181,6 +266,15 @@ class StorageConfig:
         _require(self.replication_factor >= 1, "replication factor >= 1")
         if self.capacity_bytes is not None:
             _require(self.capacity_bytes > 0, "capacity must be positive")
+        if isinstance(self.backend, dict):
+            # Deserialised configs arrive with a nested plain dict.
+            object.__setattr__(
+                self, "backend", BackendConfig(**self.backend)
+            )
+        _require(
+            isinstance(self.backend, BackendConfig),
+            "backend must be a BackendConfig",
+        )
 
 
 #: Valid checkpoint policy names (see repro.core.policies).

@@ -275,9 +275,9 @@ class CheckNRun:
             return None
         from .manifest import checkpoint_prefix
 
-        prefix = checkpoint_prefix(self.job_id, manifest.checkpoint_id)
-        for key in self.store.list_keys(prefix):
-            self.store.delete(key)
+        self.store.delete_prefix(
+            checkpoint_prefix(self.job_id, manifest.checkpoint_id)
+        )
         self.manifests.pop(manifest.checkpoint_id, None)
         if (
             manifest.kind == KIND_FULL

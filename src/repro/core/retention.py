@@ -76,11 +76,14 @@ class RetentionManager:
         deleted_objects = 0
         freed = 0
         for manifest in deletable:
-            prefix = checkpoint_prefix(job_id, manifest.checkpoint_id)
-            for key in self.store.list_keys(prefix):
-                freed += self.store.object_size(key)
-                self.store.delete(key)
-                deleted_objects += 1
+            # One batch prefix delete per checkpoint: a single LIST
+            # plus N DELETE requests under the store's cost model,
+            # rather than N client-side list+delete round trips.
+            receipt = self.store.delete_prefix(
+                checkpoint_prefix(job_id, manifest.checkpoint_id)
+            )
+            freed += receipt.freed_logical_bytes
+            deleted_objects += receipt.num_objects
             del manifests[manifest.checkpoint_id]
             deleted_ids.append(manifest.checkpoint_id)
         return RetentionReport(

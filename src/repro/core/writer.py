@@ -357,15 +357,11 @@ class CheckpointWriter:
         )
         # The manifest's validity time is the landing time of its own
         # bytes; predict it from the timeline before the single PUT (a
-        # few bytes of JSON length drift are timing noise).
-        from ..storage.bandwidth import transfer_time_s
-
+        # few bytes of JSON length drift, or backend jitter draws, are
+        # timing noise). The store's per-op-class cost model owns the
+        # PUT duration — the writer no longer assumes flat link math.
         draft = build_manifest(0.0).to_json().encode("utf-8")
-        duration = transfer_time_s(
-            len(draft) * self.store.config.replication_factor,
-            self.store.config.write_bandwidth,
-            self.store.config.latency_s,
-        )
+        duration = self.store.predict_put_duration(len(draft))
         predicted_start = max(
             self.clock.now, self.store.timeline.free_at, last_end
         )

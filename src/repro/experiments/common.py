@@ -140,12 +140,14 @@ def build_experiment(
 ) -> Experiment:
     """Wire the full stack from a config.
 
-    ``backend`` selects the byte store (in-memory by default; pass a
-    :class:`~repro.storage.backends.FileBackend` or
-    :class:`~repro.storage.backends.MirroredBackend` to exercise real
-    persistence or replica-loss recovery). The fleet instead injects a
-    pre-built ``store`` (a job's scoped view of the shared store) and
-    the job's own ``clock``.
+    The byte store comes from ``config.storage.backend`` via the
+    :func:`~repro.storage.factory.make_backend` factory (in-memory by
+    default; set ``BackendConfig(kind="file"/"mirrored"/"s3like")`` to
+    exercise real persistence, replica-loss recovery or S3-style
+    request costs). Passing ``backend`` overrides the factory with a
+    pre-built instance. The fleet instead injects a pre-built ``store``
+    (a job's scoped view of the shared store) and the job's own
+    ``clock``.
     """
     clock = clock if clock is not None else SimClock()
     dataset = SyntheticClickDataset(config.model, config.data)

@@ -94,8 +94,18 @@ class FleetRunReport:
     failures: int
     restores: int
     torn_writes: int
+    #: Restore/publish read traffic over the shared link (GET-class
+    #: transfers, op-tagged in the transfer log) — restore storms show
+    #: up here rather than hiding inside the write series.
+    total_get_bytes: int
+    aggregate_read_bandwidth: float
     #: Fig 15 at fleet scale: (window_start, window_end, bytes/sec)
+    #: for PUT-class traffic. Windows span the link's full busy period
+    #: (writes and reads), so the two series below align row by row.
     bandwidth_series: tuple[tuple[float, float, float], ...]
+    #: The same windows for GET-class traffic: write vs read link load
+    #: attribution, separated per op class.
+    read_bandwidth_series: tuple[tuple[float, float, float], ...]
     #: Correlated-failure outcome: (domain kind, domain id, fired-at
     #: seconds, affected job ids), or None when no storm was armed/fired.
     storm: tuple[str, str, float, tuple[str, ...]] | None = None
@@ -109,10 +119,14 @@ class FleetRunReport:
 
 
 def _bandwidth_series(
-    store: ObjectStore, windows: int
+    store: ObjectStore, windows: int, kind: str
 ) -> tuple[tuple[float, float, float], ...]:
-    puts = store.log.transfers("put")
-    start, end = busy_span(puts)
+    """Windowed mean bandwidth of one transfer kind ("put"/"get").
+
+    Windows cover the link's full busy span across *both* kinds so the
+    write and read series align and can be printed side by side.
+    """
+    start, end = busy_span(store.log.transfers())
     if end <= start:
         return ()
     width = (end - start) / windows
@@ -121,7 +135,7 @@ def _bandwidth_series(
         lo = start + i * width
         hi = lo + width
         series.append(
-            (lo, hi, store.log.average_bandwidth(lo, hi, "put"))
+            (lo, hi, store.log.average_bandwidth(lo, hi, kind))
         )
     return tuple(series)
 
@@ -189,6 +203,7 @@ def summarize_fleet(
     if duration <= 0:
         raise FleetError("fleet run produced no simulated time")
     total_physical = store.log.total_bytes("put")
+    total_read = store.log.total_bytes("get")
     arbiter = store.arbiter
     assert arbiter is not None
     storm = None
@@ -217,7 +232,10 @@ def summarize_fleet(
         failures=sum(r.failures for r in job_results),
         restores=sum(r.restores for r in job_results),
         torn_writes=sum(r.torn_writes for r in job_results),
-        bandwidth_series=_bandwidth_series(store, windows),
+        total_get_bytes=total_read,
+        aggregate_read_bandwidth=total_read / duration,
+        bandwidth_series=_bandwidth_series(store, windows, "put"),
+        read_bandwidth_series=_bandwidth_series(store, windows, "get"),
         storm=storm,
     )
 
@@ -261,6 +279,9 @@ def format_fleet_report(report: FleetRunReport) -> str:
         f"aggregate write bandwidth: "
         f"{report.aggregate_write_bandwidth / 2**20:.3f} MiB/s "
         f"(physical, over {report.duration_s:.1f} s)",
+        f"aggregate read bandwidth: "
+        f"{report.aggregate_read_bandwidth / 2**20:.3f} MiB/s "
+        f"({report.total_get_bytes / 2**20:.2f} MiB restored/published)",
         f"total logical bytes written: "
         f"{report.total_put_bytes_logical / 2**20:.2f} MiB",
         f"peak live capacity: {report.peak_logical_bytes / 2**20:.2f}"
@@ -272,9 +293,21 @@ def format_fleet_report(report: FleetRunReport) -> str:
         f"  torn writes: {report.torn_writes}",
     ]
     if report.bandwidth_series:
-        lines += ["", "window_start  window_end   agg_put_MiB/s"]
-        for lo, hi, bw in report.bandwidth_series:
-            lines.append(f"{lo:>12.1f} {hi:>11.1f} {bw / 2**20:>13.3f}")
+        # Write vs read link load per window, attributed by op class.
+        lines += [
+            "",
+            "window_start  window_end   agg_put_MiB/s   agg_get_MiB/s",
+        ]
+        reads = report.read_bandwidth_series or tuple(
+            (lo, hi, 0.0) for lo, hi, _ in report.bandwidth_series
+        )
+        for (lo, hi, put_bw), (_, _, get_bw) in zip(
+            report.bandwidth_series, reads
+        ):
+            lines.append(
+                f"{lo:>12.1f} {hi:>11.1f} {put_bw / 2**20:>13.3f}"
+                f" {get_bw / 2**20:>15.3f}"
+            )
     return "\n".join(lines)
 
 
@@ -374,6 +407,12 @@ def format_storm_report(report: FleetRunReport) -> str:
         )
     else:
         lines.append("storm: none fired (independent failures only)")
+    lines.append(
+        f"read traffic on the shared link: "
+        f"{report.total_get_bytes / 2**20:.2f} MiB "
+        f"({report.aggregate_read_bandwidth / 2**20:.3f} MiB/s mean) — "
+        "GET-class transfers, attributed separately from writes"
+    )
     lines.append("")
     header = (
         "tier          jobs  restores  storm  preempt"

@@ -24,7 +24,11 @@ from __future__ import annotations
 from ..distributed.clock import SimClock, Timeline
 from ..errors import NamespaceViolationError
 from ..storage.backends import Backend
-from ..storage.object_store import ObjectStore, PutReceipt
+from ..storage.object_store import (
+    ObjectStore,
+    OpReceipt,
+    PrefixDeleteReceipt,
+)
 
 
 class ScopedStore:
@@ -66,6 +70,14 @@ class ScopedStore:
     def backend(self) -> Backend:
         return self.base.backend
 
+    @property
+    def ops(self):
+        return self.base.ops
+
+    @property
+    def costs(self):
+        return self.base.costs
+
     # -- scoped object operations --------------------------------------
 
     def put(
@@ -74,7 +86,7 @@ class ScopedStore:
         data: bytes,
         overwrite: bool = False,
         earliest: float | None = None,
-    ) -> PutReceipt:
+    ) -> OpReceipt:
         self._check(key)
         floor = self.clock.now
         if earliest is not None:
@@ -87,19 +99,42 @@ class ScopedStore:
             stream=self.job_id,
         )
 
-    def get(self, key: str) -> bytes:
+    def get(
+        self, key: str, byte_range: tuple[int, int] | None = None
+    ) -> bytes:
         self._check(key)
         return self.base.get(
-            key, earliest=self.clock.now, stream=self.job_id
+            key,
+            earliest=self.clock.now,
+            stream=self.job_id,
+            byte_range=byte_range,
         )
 
-    def delete(self, key: str) -> None:
+    def delete(self, key: str) -> OpReceipt:
         self._check(key)
-        self.base.delete(key, stream=self.job_id, at_s=self.clock.now)
+        return self.base.delete(
+            key, stream=self.job_id, at_s=self.clock.now
+        )
+
+    def delete_prefix(self, prefix: str) -> PrefixDeleteReceipt:
+        """Batch-remove the job's objects under a prefix (LIST + N
+        DELETE under the cost model), stream-tagged and clock-floored
+        like every other scoped operation."""
+        if not prefix.startswith(self.namespace):
+            raise NamespaceViolationError(
+                f"job {self.job_id!r} may not delete prefix {prefix!r} "
+                f"outside its {self.namespace!r} namespace"
+            )
+        return self.base.delete_prefix(
+            prefix, stream=self.job_id, at_s=self.clock.now
+        )
+
+    def predict_put_duration(self, logical_bytes: int) -> float:
+        return self.base.predict_put_duration(logical_bytes)
 
     def exists(self, key: str) -> bool:
         self._check(key)
-        return self.base.exists(key)
+        return self.base.exists(key, stream=self.job_id)
 
     def object_size(self, key: str) -> int:
         self._check(key)
@@ -113,4 +148,4 @@ class ScopedStore:
                 f"job {self.job_id!r} may not list prefix {prefix!r} "
                 f"outside its {self.namespace!r} namespace"
             )
-        return self.base.list_keys(prefix)
+        return self.base.list_keys(prefix, stream=self.job_id)

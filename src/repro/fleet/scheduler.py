@@ -376,10 +376,14 @@ class FleetScheduler:
         )
 
     def _scrub_torn(self, job: FleetJob, checkpoint_id: str) -> None:
-        """Delete a torn checkpoint's orphaned chunks (frees quota)."""
-        prefix = checkpoint_prefix(job.job_id, checkpoint_id)
-        for key in job.store.list_keys(prefix):
-            job.store.delete(key)
+        """Delete a torn checkpoint's orphaned chunks (frees quota).
+
+        One batch prefix delete — a single LIST + N DELETE under the
+        store's cost model — through the job's scoped view.
+        """
+        job.store.delete_prefix(
+            checkpoint_prefix(job.job_id, checkpoint_id)
+        )
 
     # ------------------------------------------------------------------
     # Tier preemption (abort-and-requeue)

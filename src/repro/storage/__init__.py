@@ -1,10 +1,15 @@
-"""Simulated remote object storage: backends, bandwidth, capacity.
+"""Simulated remote object storage: requests, backends, bandwidth.
 
-:mod:`.backends` holds the byte stores (in-memory, file, mirrored,
-crash-injecting); :mod:`.bandwidth` the transfer log, the tier-aware
-fair-queueing :class:`BandwidthArbiter` and per-stream quotas;
-:mod:`.object_store` the timed, replication- and capacity-accounted
-store the checkpoint stack writes through.
+:mod:`.requests` defines the request-oriented vocabulary (op classes,
+per-class :class:`OpCostModel` cost tables, typed :class:`OpReceipt`
+completions); :mod:`.backends` the byte stores (in-memory, file,
+mirrored, crash-injecting) behind the request interface;
+:mod:`.remote` the S3-style :class:`RemoteObjectBackend` with multipart
+upload and ranged GETs; :mod:`.factory` the :func:`make_backend`
+config-driven constructor; :mod:`.bandwidth` the transfer log, the
+tier-aware fair-queueing :class:`BandwidthArbiter` and per-stream
+quotas; :mod:`.object_store` the timed, replication- and
+capacity-accounted store the checkpoint stack writes through.
 """
 
 from .backends import (
@@ -24,14 +29,39 @@ from .bandwidth import (
     TransferLog,
     transfer_time_s,
 )
+from .factory import make_backend
 from .object_store import (
     CapacityPoint,
     ObjectStore,
+    PrefixDeleteReceipt,
     PutReceipt,
     StoreStats,
 )
+from .remote import RemoteObjectBackend, s3like_costs
+from .requests import (
+    DATA_OPS,
+    OP_CLASSES,
+    OP_DELETE,
+    OP_GET,
+    OP_HEAD,
+    OP_LIST,
+    OP_PUT,
+    OpCostModel,
+    OpCostSuite,
+    OpLog,
+    OpReceipt,
+    StorageRequest,
+    clip_range,
+)
 
 __all__ = [
+    "DATA_OPS",
+    "OP_CLASSES",
+    "OP_DELETE",
+    "OP_GET",
+    "OP_HEAD",
+    "OP_LIST",
+    "OP_PUT",
     "TIER_EXPERIMENTAL",
     "TIER_PROD",
     "TIER_RANK",
@@ -43,10 +73,20 @@ __all__ = [
     "InMemoryBackend",
     "MirroredBackend",
     "ObjectStore",
+    "OpCostModel",
+    "OpCostSuite",
+    "OpLog",
+    "OpReceipt",
+    "PrefixDeleteReceipt",
     "PutReceipt",
+    "RemoteObjectBackend",
+    "StorageRequest",
     "StoreStats",
     "StreamState",
     "Transfer",
     "TransferLog",
+    "clip_range",
+    "make_backend",
+    "s3like_costs",
     "transfer_time_s",
 ]

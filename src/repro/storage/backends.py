@@ -1,11 +1,26 @@
-"""Byte-storage backends for the simulated object store.
+"""Byte-storage backends behind the request-oriented storage API.
 
-The :class:`InMemoryBackend` is the default for experiments (fast,
-hermetic); the :class:`FileBackend` persists objects under a directory
-so examples can demonstrate real crash-restart recovery across
-processes. A :class:`MirroredBackend` keeps N synchronous replicas and
-survives the loss of any single one — the availability property the
-paper gets from its replicated blob store.
+A backend serves classed :class:`~repro.storage.requests.StorageRequest`
+operations — ``put_object`` / ``get_object`` / ``head_object`` /
+``delete_object`` / ``list_objects`` plus the batch ``delete_prefix`` —
+and *owns its per-op-class cost models* (an
+:class:`~repro.storage.requests.OpCostSuite`). The timed
+:class:`~repro.storage.object_store.ObjectStore` asks the backend what
+each request costs and serialises the data-plane time on the shared
+link; backends themselves move bytes instantly.
+
+The in-process backends (:class:`InMemoryBackend`, :class:`FileBackend`,
+:class:`MirroredBackend`, :class:`CrashingBackend`) ship with
+``costs=None``, meaning "defer to the store's config-derived legacy
+model" — their behaviour through the new API is bit-identical to the
+old flat interface. The S3-style
+:class:`~repro.storage.remote.RemoteObjectBackend` instead carries its
+own per-class latencies, multipart upload and ranged-GET windows.
+
+A thin compatibility shim (``write``/``read``/``delete``/``exists``/
+``list_keys`` on the base class) keeps the legacy flat call sites —
+tests, tooling, examples — working unchanged on top of the request
+methods.
 """
 
 from __future__ import annotations
@@ -15,57 +30,129 @@ from abc import ABC, abstractmethod
 from pathlib import Path
 
 from ..errors import ObjectNotFoundError, StorageError
+from .requests import (
+    OP_DELETE,
+    OP_GET,
+    OP_HEAD,
+    OP_LIST,
+    OP_PUT,
+    OpCostSuite,
+    StorageRequest,
+    clip_range,
+)
 
 
 class Backend(ABC):
-    """Minimal key -> bytes storage interface."""
+    """Request-oriented key -> bytes storage interface."""
+
+    #: Per-op-class cost models. ``None`` defers to the store's
+    #: config-derived legacy suite (fixed latency + link bandwidths).
+    costs: OpCostSuite | None = None
+    #: Multipart upload part size; ``None`` disables multipart (the
+    #: store uploads every object single-shot).
+    part_size_bytes: int | None = None
+    #: Parallel upload lanes for multipart parts / ranged sub-GETs.
+    #: Per-part request latency overlaps across lanes while the link
+    #: serialises bytes, which is what amortises per-part latency.
+    fanout: int = 1
+    #: Split GETs larger than this into ranged sub-GETs; ``None``
+    #: fetches whole objects.
+    range_get_bytes: int | None = None
+
+    # -- request-oriented data plane -----------------------------------
 
     @abstractmethod
+    def put_object(self, request: StorageRequest, data: bytes) -> None:
+        """Store ``data`` under ``request.key`` (overwrite allowed)."""
+
+    @abstractmethod
+    def get_object(self, request: StorageRequest) -> bytes:
+        """Fetch ``request.key`` (honouring ``request.byte_range``);
+        raises :class:`ObjectNotFoundError` if absent."""
+
+    @abstractmethod
+    def head_object(self, request: StorageRequest) -> bool:
+        """Whether ``request.key`` is present."""
+
+    @abstractmethod
+    def delete_object(self, request: StorageRequest) -> None:
+        """Remove ``request.key``; raises :class:`ObjectNotFoundError`
+        if absent."""
+
+    @abstractmethod
+    def list_objects(self, request: StorageRequest) -> list[str]:
+        """All keys with prefix ``request.key``, sorted."""
+
+    def delete_prefix(self, request: StorageRequest) -> list[str]:
+        """Batch-remove every key under a prefix; returns the keys.
+
+        One LIST followed by per-key DELETEs — the cost the store
+        charges mirrors that shape (a single LIST plus N DELETE under
+        the cost model). Backends with a cheaper native bulk delete may
+        override.
+        """
+        keys = self.list_objects(
+            StorageRequest(OP_LIST, request.key, stream=request.stream)
+        )
+        for key in keys:
+            self.delete_object(
+                StorageRequest(OP_DELETE, key, stream=request.stream)
+            )
+        return keys
+
+    # -- legacy flat shim ----------------------------------------------
+    #
+    # The original Backend ABC exposed write/read/delete/exists/
+    # list_keys. Every legacy call site (tests, tooling, examples)
+    # still works: each shim builds the equivalent classed request.
+
     def write(self, key: str, data: bytes) -> None:
-        """Store ``data`` under ``key`` (overwrite allowed)."""
+        self.put_object(StorageRequest(OP_PUT, key, len(data)), data)
 
-    @abstractmethod
     def read(self, key: str) -> bytes:
-        """Fetch ``key``; raises :class:`ObjectNotFoundError` if absent."""
+        return self.get_object(StorageRequest(OP_GET, key))
 
-    @abstractmethod
     def delete(self, key: str) -> None:
-        """Remove ``key``; raises :class:`ObjectNotFoundError` if absent."""
+        self.delete_object(StorageRequest(OP_DELETE, key))
 
-    @abstractmethod
     def exists(self, key: str) -> bool:
-        """Whether ``key`` is present."""
+        return self.head_object(StorageRequest(OP_HEAD, key))
 
-    @abstractmethod
     def list_keys(self, prefix: str = "") -> list[str]:
-        """All keys with the given prefix, sorted."""
+        return self.list_objects(StorageRequest(OP_LIST, prefix))
 
 
 class InMemoryBackend(Backend):
     """Dict-backed storage; the default for simulations and tests."""
 
-    def __init__(self) -> None:
+    def __init__(self, costs: OpCostSuite | None = None) -> None:
+        self.costs = costs
         self._objects: dict[str, bytes] = {}
 
-    def write(self, key: str, data: bytes) -> None:
-        self._objects[key] = bytes(data)
+    def put_object(self, request: StorageRequest, data: bytes) -> None:
+        self._objects[request.key] = bytes(data)
 
-    def read(self, key: str) -> bytes:
+    def get_object(self, request: StorageRequest) -> bytes:
         try:
-            return self._objects[key]
+            data = self._objects[request.key]
         except KeyError:
-            raise ObjectNotFoundError(f"no object {key!r}") from None
+            raise ObjectNotFoundError(
+                f"no object {request.key!r}"
+            ) from None
+        return clip_range(data, request.byte_range)
 
-    def delete(self, key: str) -> None:
-        if key not in self._objects:
-            raise ObjectNotFoundError(f"no object {key!r}")
-        del self._objects[key]
+    def head_object(self, request: StorageRequest) -> bool:
+        return request.key in self._objects
 
-    def exists(self, key: str) -> bool:
-        return key in self._objects
+    def delete_object(self, request: StorageRequest) -> None:
+        if request.key not in self._objects:
+            raise ObjectNotFoundError(f"no object {request.key!r}")
+        del self._objects[request.key]
 
-    def list_keys(self, prefix: str = "") -> list[str]:
-        return sorted(k for k in self._objects if k.startswith(prefix))
+    def list_objects(self, request: StorageRequest) -> list[str]:
+        return sorted(
+            k for k in self._objects if k.startswith(request.key)
+        )
 
 
 class FileBackend(Backend):
@@ -73,10 +160,14 @@ class FileBackend(Backend):
 
     Keys may contain ``/`` which map to subdirectories. Writes are
     atomic (write to a temp name, then rename) so a crashed writer never
-    leaves a half-written object visible.
+    leaves a half-written object visible: until the ``os.replace`` the
+    only artifact is a ``.tmp`` file that reads and listings ignore.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(
+        self, root: str | Path, costs: OpCostSuite | None = None
+    ) -> None:
+        self.costs = costs
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -85,46 +176,52 @@ class FileBackend(Backend):
             raise StorageError(f"invalid object key {key!r}")
         return self.root / key
 
-    def write(self, key: str, data: bytes) -> None:
-        path = self._path(key)
+    def put_object(self, request: StorageRequest, data: bytes) -> None:
+        path = self._path(request.key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_bytes(data)
         os.replace(tmp, path)
 
-    def read(self, key: str) -> bytes:
-        path = self._path(key)
+    def get_object(self, request: StorageRequest) -> bytes:
+        path = self._path(request.key)
         if not path.is_file():
-            raise ObjectNotFoundError(f"no object {key!r}")
-        return path.read_bytes()
+            raise ObjectNotFoundError(f"no object {request.key!r}")
+        return clip_range(path.read_bytes(), request.byte_range)
 
-    def delete(self, key: str) -> None:
-        path = self._path(key)
+    def head_object(self, request: StorageRequest) -> bool:
+        return self._path(request.key).is_file()
+
+    def delete_object(self, request: StorageRequest) -> None:
+        path = self._path(request.key)
         if not path.is_file():
-            raise ObjectNotFoundError(f"no object {key!r}")
+            raise ObjectNotFoundError(f"no object {request.key!r}")
         path.unlink()
 
-    def exists(self, key: str) -> bool:
-        return self._path(key).is_file()
-
-    def list_keys(self, prefix: str = "") -> list[str]:
+    def list_objects(self, request: StorageRequest) -> list[str]:
         keys = []
         for path in self.root.rglob("*"):
             if path.is_file() and not path.name.endswith(".tmp"):
                 key = str(path.relative_to(self.root))
-                if key.startswith(prefix):
+                if key.startswith(request.key):
                     keys.append(key)
         return sorted(keys)
 
 
 class CrashingBackend(Backend):
-    """Wraps a backend and kills the process at an armed write.
+    """Wraps a backend and kills the process at an armed PUT.
 
-    ``arm(n)`` makes the *n*-th subsequent write raise
+    ``arm(n)`` makes the *n*-th subsequent PUT-class request raise
     :class:`StorageError` before touching the inner backend — the
     simulation equivalent of a node dying between two PUTs. Crash
     tests use it to leave a checkpoint's chunks on storage without its
     manifest and assert the restore path skips the torn checkpoint.
+
+    The wrapper is transparent to the store: cost models, multipart /
+    ranged-GET capabilities and the jitter RNG all delegate to the
+    inner backend, and multipart *part* uploads count as PUT-class
+    writes — arming a crash mid-upload exercises the store's
+    abort-multipart path exactly like a node death would.
     """
 
     def __init__(self, inner: Backend) -> None:
@@ -132,8 +229,30 @@ class CrashingBackend(Backend):
         self._writes_until_crash: int | None = None
         self.writes_seen = 0
 
+    # -- capability/cost delegation ------------------------------------
+
+    @property
+    def costs(self) -> OpCostSuite | None:  # type: ignore[override]
+        return self.inner.costs
+
+    @property
+    def part_size_bytes(self) -> int | None:  # type: ignore[override]
+        return self.inner.part_size_bytes
+
+    @property
+    def fanout(self) -> int:  # type: ignore[override]
+        return self.inner.fanout
+
+    @property
+    def range_get_bytes(self) -> int | None:  # type: ignore[override]
+        return self.inner.range_get_bytes
+
+    @property
+    def rng(self):
+        return getattr(self.inner, "rng", None)
+
     def arm(self, writes_until_crash: int) -> None:
-        """Crash on the ``writes_until_crash``-th write from now (1-based)."""
+        """Crash on the ``writes_until_crash``-th PUT from now (1-based)."""
         if writes_until_crash < 1:
             raise StorageError("writes_until_crash must be >= 1")
         self._writes_until_crash = writes_until_crash
@@ -141,7 +260,7 @@ class CrashingBackend(Backend):
     def disarm(self) -> None:
         self._writes_until_crash = None
 
-    def write(self, key: str, data: bytes) -> None:
+    def _count_write(self, key: str) -> None:
         self.writes_seen += 1
         if self._writes_until_crash is not None:
             self._writes_until_crash -= 1
@@ -150,19 +269,39 @@ class CrashingBackend(Backend):
                 raise StorageError(
                     f"simulated crash before writing {key!r}"
                 )
-        self.inner.write(key, data)
 
-    def read(self, key: str) -> bytes:
-        return self.inner.read(key)
+    def put_object(self, request: StorageRequest, data: bytes) -> None:
+        self._count_write(request.key)
+        self.inner.put_object(request, data)
 
-    def delete(self, key: str) -> None:
-        self.inner.delete(key)
+    # -- multipart control plane (delegated; parts count as writes) ----
 
-    def exists(self, key: str) -> bool:
-        return self.inner.exists(key)
+    def create_multipart(self, key: str) -> str:
+        return self.inner.create_multipart(key)
 
-    def list_keys(self, prefix: str = "") -> list[str]:
-        return self.inner.list_keys(prefix)
+    def upload_part(
+        self, upload_id: str, part_number: int, data: bytes
+    ) -> None:
+        self._count_write(f"{upload_id}#part{part_number}")
+        self.inner.upload_part(upload_id, part_number, data)
+
+    def complete_multipart(self, upload_id: str) -> None:
+        self.inner.complete_multipart(upload_id)
+
+    def abort_multipart(self, upload_id: str) -> None:
+        self.inner.abort_multipart(upload_id)
+
+    def get_object(self, request: StorageRequest) -> bytes:
+        return self.inner.get_object(request)
+
+    def head_object(self, request: StorageRequest) -> bool:
+        return self.inner.head_object(request)
+
+    def delete_object(self, request: StorageRequest) -> None:
+        self.inner.delete_object(request)
+
+    def list_objects(self, request: StorageRequest) -> list[str]:
+        return self.inner.list_objects(request)
 
 
 class MirroredBackend(Backend):
@@ -174,9 +313,14 @@ class MirroredBackend(Backend):
     rather than trainer-local disks.
     """
 
-    def __init__(self, replicas: list[Backend]) -> None:
+    def __init__(
+        self,
+        replicas: list[Backend],
+        costs: OpCostSuite | None = None,
+    ) -> None:
         if not replicas:
             raise StorageError("MirroredBackend needs at least one replica")
+        self.costs = costs
         self._replicas = list(replicas)
         self._failed: set[int] = set()
 
@@ -200,33 +344,36 @@ class MirroredBackend(Backend):
             raise StorageError("all replicas have failed")
         return live
 
-    def write(self, key: str, data: bytes) -> None:
+    def put_object(self, request: StorageRequest, data: bytes) -> None:
         for replica in self._live():
-            replica.write(key, data)
+            replica.put_object(request, data)
 
-    def read(self, key: str) -> bytes:
+    def get_object(self, request: StorageRequest) -> bytes:
         last_error: ObjectNotFoundError | None = None
         for replica in self._live():
             try:
-                return replica.read(key)
+                return replica.get_object(request)
             except ObjectNotFoundError as exc:
                 last_error = exc
-        raise last_error or ObjectNotFoundError(f"no object {key!r}")
+        raise last_error or ObjectNotFoundError(
+            f"no object {request.key!r}"
+        )
 
-    def delete(self, key: str) -> None:
+    def head_object(self, request: StorageRequest) -> bool:
+        return any(r.head_object(request) for r in self._live())
+
+    def delete_object(self, request: StorageRequest) -> None:
         found = False
+        head = StorageRequest(OP_HEAD, request.key, stream=request.stream)
         for replica in self._live():
-            if replica.exists(key):
-                replica.delete(key)
+            if replica.head_object(head):
+                replica.delete_object(request)
                 found = True
         if not found:
-            raise ObjectNotFoundError(f"no object {key!r}")
+            raise ObjectNotFoundError(f"no object {request.key!r}")
 
-    def exists(self, key: str) -> bool:
-        return any(r.exists(key) for r in self._live())
-
-    def list_keys(self, prefix: str = "") -> list[str]:
+    def list_objects(self, request: StorageRequest) -> list[str]:
         keys: set[str] = set()
         for replica in self._live():
-            keys.update(replica.list_keys(prefix))
+            keys.update(replica.list_objects(request))
         return sorted(keys)

@@ -64,6 +64,17 @@ class Transfer:
     stream: str = ""  # owning stream/job ("" = untagged single-job use)
 
     @property
+    def op(self) -> str:
+        """Request op class of this transfer (``OP_PUT``/``OP_GET``).
+
+        Derived from ``kind`` — only data-plane classes reach the
+        transfer log — so write vs read link-load attribution (the
+        fleet's split bandwidth series) can filter on the same op
+        vocabulary the receipt layer uses.
+        """
+        return self.kind.upper()
+
+    @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
 

@@ -4,43 +4,54 @@ Checkpoints are written to "remote object storage to provide high
 availability (including replications) and storage scalability" (paper
 section 4). This store wraps a byte backend with:
 
-* **timing** — transfers are serialised on a storage :class:`Timeline`
-  in simulated time, at the configured bandwidth and per-op latency;
+* **request timing** — every operation is a classed request
+  (PUT/GET/LIST/DELETE/HEAD) whose wall time comes from the backend's
+  per-op-class :class:`~repro.storage.requests.OpCostModel`; data-plane
+  transfers serialise on a storage :class:`Timeline` in simulated time,
+  and every op returns a typed
+  :class:`~repro.storage.requests.OpReceipt`;
+* **multipart upload / ranged GET fan-out** — against a backend that
+  supports them (the S3-style
+  :class:`~repro.storage.remote.RemoteObjectBackend`), large PUTs split
+  into parts and large GETs into ranged sub-reads; per-part request
+  latency overlaps across parallel lanes while the link serialises the
+  bytes, which amortises per-request latency exactly the way real
+  multipart uploads do;
 * **replication accounting** — physical bytes = logical x factor;
 * **capacity accounting** — live logical/physical bytes over time, the
   series behind Fig 16, plus an optional hard capacity limit;
-* **a transfer log** — the series behind Fig 15's bandwidth numbers.
+* **a transfer log + op log** — the per-transfer series behind Fig 15's
+  bandwidth numbers (write *and* read traffic, op-class tagged) and the
+  per-receipt record behind the backend-ops benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..config import StorageConfig
 from ..distributed.clock import SimClock, Timeline
 from ..errors import CapacityExceededError, ObjectExistsError, StorageError
-from .backends import Backend, InMemoryBackend
-from .bandwidth import (
-    BandwidthArbiter,
-    Transfer,
-    TransferLog,
-    transfer_time_s,
+from .backends import Backend
+from .bandwidth import BandwidthArbiter, Transfer, TransferLog
+from .requests import (
+    OP_DELETE,
+    OP_GET,
+    OP_HEAD,
+    OP_LIST,
+    OP_PUT,
+    OpCostSuite,
+    OpLog,
+    OpReceipt,
+    StorageRequest,
 )
 
-
-@dataclass(frozen=True)
-class PutReceipt:
-    """Completion record of a PUT."""
-
-    key: str
-    logical_bytes: int
-    physical_bytes: int
-    start_s: float
-    end_s: float
-
-    @property
-    def duration_s(self) -> float:
-        return self.end_s - self.start_s
+#: Legacy alias: PUT completions used to be ``PutReceipt``; every field
+#: the old type exposed (key, logical/physical bytes, start_s, end_s,
+#: duration_s) is still available on :class:`OpReceipt`.
+PutReceipt = OpReceipt
 
 
 @dataclass(frozen=True)
@@ -63,8 +74,24 @@ class StoreStats:
     num_objects: int
 
 
+@dataclass(frozen=True)
+class PrefixDeleteReceipt:
+    """Completion record of a batch prefix delete (1 LIST + N DELETE)."""
+
+    prefix: str
+    keys: tuple[str, ...]
+    freed_logical_bytes: int
+    freed_physical_bytes: int
+    issued_s: float
+    completed_s: float
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.keys)
+
+
 class ObjectStore:
-    """Bandwidth- and capacity-accounted object storage in sim time."""
+    """Request-timed, capacity-accounted object storage in sim time."""
 
     def __init__(
         self,
@@ -75,10 +102,26 @@ class ObjectStore:
     ) -> None:
         self.config = config
         self.clock = clock
-        self.backend = backend if backend is not None else InMemoryBackend()
+        if backend is None:
+            from .factory import make_backend
+
+            backend = make_backend(config.backend, config)
+        self.backend = backend
+        #: Effective per-op-class cost table: the backend's own suite
+        #: when it carries one, else the legacy config-derived model
+        #: (fixed latency + link bandwidths, metadata ops free).
+        self.costs: OpCostSuite = (
+            backend.costs
+            if backend.costs is not None
+            else OpCostSuite.from_storage_config(config)
+        )
         self.timeline = Timeline(clock, "storage")
         self.log = TransferLog()
+        self.ops = OpLog()
         self.arbiter = arbiter
+        self._rng: np.random.Generator | None = getattr(
+            backend, "rng", None
+        )
         self._sizes: dict[str, int] = {}
         self._capacity_series: list[CapacityPoint] = []
         self._peak_physical = 0
@@ -118,6 +161,46 @@ class ObjectStore:
         )
 
     # ------------------------------------------------------------------
+    # Cost helpers
+    # ------------------------------------------------------------------
+
+    def predict_put_duration(self, logical_bytes: int) -> float:
+        """Expected single-shot PUT wall time for a payload size.
+
+        Used by the checkpoint writer to predict a manifest's landing
+        time before the PUT is issued. Deterministic: jitter/tail draws
+        are excluded (they are timing noise around this expectation).
+        """
+        return self.costs.for_op(OP_PUT).duration_s(
+            logical_bytes * self.config.replication_factor
+        )
+
+    def _record_op(
+        self,
+        op: str,
+        key: str,
+        logical: int,
+        physical: int,
+        issued: float,
+        duration: float,
+        stream: str,
+    ) -> OpReceipt:
+        """Book a control-plane request (no link occupancy)."""
+        receipt = OpReceipt(
+            op=op,
+            key=key,
+            logical_bytes=logical,
+            physical_bytes=physical,
+            issued_s=issued,
+            start_s=issued,
+            first_byte_s=issued + duration,
+            completed_s=issued + duration,
+            stream=stream,
+        )
+        self.ops.record(receipt)
+        return receipt
+
+    # ------------------------------------------------------------------
     # Object operations
     # ------------------------------------------------------------------
 
@@ -128,7 +211,7 @@ class ObjectStore:
         overwrite: bool = False,
         earliest: float | None = None,
         stream: str = "",
-    ) -> PutReceipt:
+    ) -> OpReceipt:
         """Store an object; occupies the storage link in sim time.
 
         ``earliest`` defers the transfer start (the pipelined checkpoint
@@ -136,6 +219,13 @@ class ObjectStore:
         ``stream`` tags the transfer with its owning job on a shared
         store; when an arbiter is attached, the stream's capacity quota
         is checked (and charged) before any link time is spent.
+
+        Against a backend that advertises ``part_size_bytes``, payloads
+        larger than one part upload through the multipart protocol:
+        per-part PUT requests fan out over ``backend.fanout`` lanes
+        (request latencies overlap; the link serialises bytes) and a
+        completion request publishes the object. A failure mid-upload
+        aborts the multipart — no partial object ever becomes visible.
         """
         if not key:
             raise StorageError("object key must be non-empty")
@@ -159,14 +249,14 @@ class ObjectStore:
         charged = physical - previous * self.config.replication_factor
         if self.arbiter is not None and stream:
             self.arbiter.admit_put(stream, charged)
-        duration = transfer_time_s(
-            physical, self.config.write_bandwidth, self.config.latency_s
-        )
-        span = self.timeline.submit(
-            duration, label=f"put:{key}", earliest=earliest
-        )
+        part_size = self.backend.part_size_bytes
         try:
-            self.backend.write(key, data)
+            if part_size is not None and logical > part_size:
+                receipt = self._put_multipart(
+                    key, data, part_size, earliest, stream
+                )
+            else:
+                receipt = self._put_single(key, data, earliest, stream)
         except Exception:
             # The bytes never landed: return the quota charge so a
             # failing backend cannot leak a stream's budget away.
@@ -175,44 +265,255 @@ class ObjectStore:
             raise
         self._sizes[key] = logical
         self._total_written += physical
+        self.ops.record(receipt)
+        self._record_capacity(receipt.completed_s)
+        return receipt
+
+    def _put_single(
+        self,
+        key: str,
+        data: bytes,
+        earliest: float | None,
+        stream: str,
+    ) -> OpReceipt:
+        """One PUT request: latency + bytes, serialised on the link."""
+        cost = self.costs.for_op(OP_PUT)
+        logical = len(data)
+        physical = logical * self.config.replication_factor
+        issued = max(self.clock.now, earliest or 0.0)
+        latency = cost.latency_s(self._rng)
+        duration = latency + cost.transfer_s(physical)
+        span = self.timeline.submit(
+            duration, label=f"put:{key}", earliest=earliest
+        )
+        self.backend.put_object(
+            StorageRequest(OP_PUT, key, logical, stream=stream), data
+        )
         self.log.record(
-            Transfer(key, physical, span.start, span.end, "put", stream)
+            Transfer(
+                key, physical, span.start, span.end, "put", stream
+            )
         )
         if self.arbiter is not None and stream:
             self.arbiter.on_transfer(stream, physical, "put")
-        self._record_capacity(span.end)
-        return PutReceipt(key, logical, physical, span.start, span.end)
+        return OpReceipt(
+            op=OP_PUT,
+            key=key,
+            logical_bytes=logical,
+            physical_bytes=physical,
+            issued_s=issued,
+            start_s=span.start,
+            first_byte_s=min(span.start + latency, span.end),
+            completed_s=span.end,
+            stream=stream,
+        )
+
+    def _put_multipart(
+        self,
+        key: str,
+        data: bytes,
+        part_size: int,
+        earliest: float | None,
+        stream: str,
+    ) -> OpReceipt:
+        """Multipart upload: N part PUTs + one completion request.
+
+        Parts round-robin over ``backend.fanout`` upload lanes: a
+        lane's next part cannot issue before its previous part's bytes
+        finished, but *different* lanes' request latencies overlap the
+        link's byte time — with fanout > 1 only the first part's
+        latency is exposed, the amortisation multipart exists for.
+        """
+        backend = self.backend
+        cost = self.costs.for_op(OP_PUT)
+        replication = self.config.replication_factor
+        fanout = max(1, backend.fanout)
+        issued = max(self.clock.now, earliest or 0.0)
+        # Occupancy starts when the link could serve this op (queueing
+        # behind earlier transfers is queue_s, not duration_s — the
+        # same semantics single-shot receipts carry).
+        started = max(issued, self.timeline.free_at)
+        upload_id = backend.create_multipart(key)
+        lane_free = [started] * fanout
+        first_byte: float | None = None
+        parts = 0
+        try:
+            for offset in range(0, len(data), part_size):
+                chunk = data[offset : offset + part_size]
+                lane = parts % fanout
+                latency = cost.latency_s(self._rng)
+                physical = len(chunk) * replication
+                span = self.timeline.submit(
+                    cost.transfer_s(physical),
+                    label=f"put-part:{key}:{parts + 1}",
+                    earliest=lane_free[lane] + latency,
+                )
+                backend.upload_part(upload_id, parts + 1, chunk)
+                lane_free[lane] = span.end
+                if first_byte is None:
+                    first_byte = span.start
+                self.log.record(
+                    Transfer(
+                        f"{key}#part{parts + 1}",
+                        physical,
+                        span.start,
+                        span.end,
+                        "put",
+                        stream,
+                    )
+                )
+                if self.arbiter is not None and stream:
+                    self.arbiter.on_transfer(stream, physical, "put")
+                parts += 1
+            # The completion request publishes the object: one more
+            # PUT-class latency, control-plane only (no link bytes).
+            completed = max(lane_free) + cost.latency_s(self._rng)
+            backend.complete_multipart(upload_id)
+        except Exception:
+            backend.abort_multipart(upload_id)
+            raise
+        assert first_byte is not None
+        return OpReceipt(
+            op=OP_PUT,
+            key=key,
+            logical_bytes=len(data),
+            physical_bytes=len(data) * replication,
+            issued_s=issued,
+            start_s=started,
+            first_byte_s=first_byte,
+            completed_s=completed,
+            parts=parts,
+            stream=stream,
+        )
 
     def get(
         self,
         key: str,
         earliest: float | None = None,
         stream: str = "",
+        byte_range: tuple[int, int] | None = None,
     ) -> bytes:
         """Fetch an object (timed on the shared storage timeline).
 
         ``earliest`` floors the transfer start at the caller's own
         simulated time — on a shared store the reading job's clock may
         be ahead of the store's, and a restore must not be timed before
-        the failure that triggered it.
+        the failure that triggered it. ``byte_range`` narrows the read
+        to ``[start, stop)``.
+
+        Against a backend that advertises ``range_get_bytes``, whole
+        reads larger than that window are issued as ranged sub-GETs
+        fanned out over the backend's request lanes — restores through
+        the S3-style backend read their chunks in ranged windows
+        automatically.
         """
-        data = self.backend.read(key)
-        duration = transfer_time_s(
-            len(data), self.config.read_bandwidth, self.config.latency_s
+        window = self.backend.range_get_bytes
+        known = self._sizes.get(key)
+        if (
+            byte_range is None
+            and window is not None
+            and known is not None
+            and known > window
+        ):
+            return self._get_ranged(key, known, window, earliest, stream)
+        cost = self.costs.for_op(OP_GET)
+        issued = max(self.clock.now, earliest or 0.0)
+        data = self.backend.get_object(
+            StorageRequest(OP_GET, key, stream=stream, byte_range=byte_range)
         )
+        latency = cost.latency_s(self._rng)
+        duration = latency + cost.transfer_s(len(data))
         span = self.timeline.submit(
             duration, label=f"get:{key}", earliest=earliest
         )
         self.log.record(
-            Transfer(key, len(data), span.start, span.end, "get", stream)
+            Transfer(
+                key, len(data), span.start, span.end, "get", stream
+            )
         )
         if self.arbiter is not None and stream:
             self.arbiter.on_transfer(stream, len(data), "get")
+        self.ops.record(
+            OpReceipt(
+                op=OP_GET,
+                key=key,
+                logical_bytes=len(data),
+                physical_bytes=len(data),
+                issued_s=issued,
+                start_s=span.start,
+                first_byte_s=min(span.start + latency, span.end),
+                completed_s=span.end,
+                stream=stream,
+            )
+        )
         return data
+
+    def _get_ranged(
+        self,
+        key: str,
+        size: int,
+        window: int,
+        earliest: float | None,
+        stream: str,
+    ) -> bytes:
+        """Split one large GET into ranged sub-GETs over request lanes."""
+        cost = self.costs.for_op(OP_GET)
+        fanout = max(1, self.backend.fanout)
+        issued = max(self.clock.now, earliest or 0.0)
+        started = max(issued, self.timeline.free_at)
+        lane_free = [started] * fanout
+        first_byte: float | None = None
+        pieces: list[bytes] = []
+        for index, start in enumerate(range(0, size, window)):
+            stop = min(start + window, size)
+            chunk = self.backend.get_object(
+                StorageRequest(
+                    OP_GET, key, stream=stream, byte_range=(start, stop)
+                )
+            )
+            lane = index % fanout
+            latency = cost.latency_s(self._rng)
+            span = self.timeline.submit(
+                cost.transfer_s(len(chunk)),
+                label=f"get-range:{key}:{index}",
+                earliest=lane_free[lane] + latency,
+            )
+            lane_free[lane] = span.end
+            if first_byte is None:
+                first_byte = span.start
+            pieces.append(chunk)
+            self.log.record(
+                Transfer(
+                    f"{key}#range{index}",
+                    len(chunk),
+                    span.start,
+                    span.end,
+                    "get",
+                    stream,
+                )
+            )
+            if self.arbiter is not None and stream:
+                self.arbiter.on_transfer(stream, len(chunk), "get")
+        assert first_byte is not None
+        self.ops.record(
+            OpReceipt(
+                op=OP_GET,
+                key=key,
+                logical_bytes=size,
+                physical_bytes=size,
+                issued_s=issued,
+                start_s=started,
+                first_byte_s=first_byte,
+                completed_s=max(lane_free),
+                parts=len(pieces),
+                stream=stream,
+            )
+        )
+        return b"".join(pieces)
 
     def delete(
         self, key: str, stream: str = "", at_s: float | None = None
-    ) -> None:
+    ) -> OpReceipt:
         """Remove an object and update capacity accounting.
 
         ``at_s`` timestamps the capacity sample with the deleting job's
@@ -220,18 +521,112 @@ class ObjectStore:
         credits the freed physical bytes back to the job's quota.
         """
         physical = self._sizes.get(key, 0) * self.config.replication_factor
-        self.backend.delete(key)
+        self.backend.delete_object(
+            StorageRequest(OP_DELETE, key, stream=stream)
+        )
         self._sizes.pop(key, None)
         if self.arbiter is not None and stream:
             self.arbiter.credit_delete(stream, physical)
         when = self.clock.now if at_s is None else max(at_s, self.clock.now)
         self._record_capacity(when)
+        return self._record_op(
+            OP_DELETE,
+            key,
+            0,
+            physical,
+            when,
+            self.costs.for_op(OP_DELETE).duration_s(0, self._rng),
+            stream,
+        )
 
-    def exists(self, key: str) -> bool:
-        return self.backend.exists(key)
+    def delete_prefix(
+        self, prefix: str, stream: str = "", at_s: float | None = None
+    ) -> PrefixDeleteReceipt:
+        """Batch-remove every object under a prefix.
 
-    def list_keys(self, prefix: str = "") -> list[str]:
-        return self.backend.list_keys(prefix)
+        Costed as a *single* LIST followed by N DELETE requests — the
+        shape retention sweeps take against a real object store —
+        rather than N client-side list+delete round trips. Capacity is
+        re-sampled once, after the whole batch.
+        """
+        issued = (
+            self.clock.now
+            if at_s is None
+            else max(at_s, self.clock.now)
+        )
+        # One enumeration serves both the size bookkeeping and the
+        # deletes (the backend's own delete_prefix would LIST again).
+        keys = self.backend.list_objects(
+            StorageRequest(OP_LIST, prefix, stream=stream)
+        )
+        freed_logical = 0
+        for key in keys:
+            freed_logical += self.object_size(key)
+        freed_physical = freed_logical * self.config.replication_factor
+        for key in keys:
+            self.backend.delete_object(
+                StorageRequest(OP_DELETE, key, stream=stream)
+            )
+        completed = issued + self.costs.for_op(OP_LIST).duration_s(
+            len(keys), self._rng
+        )
+        self._record_op(
+            OP_LIST, prefix, len(keys), 0, issued, completed - issued, stream
+        )
+        delete_cost = self.costs.for_op(OP_DELETE)
+        for key in keys:
+            physical = (
+                self._sizes.pop(key, 0) * self.config.replication_factor
+            )
+            duration = delete_cost.duration_s(0, self._rng)
+            self._record_op(
+                OP_DELETE, key, 0, physical, completed, duration, stream
+            )
+            completed += duration
+        if self.arbiter is not None and stream:
+            self.arbiter.credit_delete(stream, freed_physical)
+        if keys:
+            self._record_capacity(max(completed, issued))
+        return PrefixDeleteReceipt(
+            prefix=prefix,
+            keys=tuple(keys),
+            freed_logical_bytes=freed_logical,
+            freed_physical_bytes=freed_physical,
+            issued_s=issued,
+            completed_s=completed,
+        )
+
+    def exists(self, key: str, stream: str = "") -> bool:
+        """HEAD probe: is the key present?"""
+        present = self.backend.head_object(
+            StorageRequest(OP_HEAD, key, stream=stream)
+        )
+        self._record_op(
+            OP_HEAD,
+            key,
+            0,
+            0,
+            self.clock.now,
+            self.costs.for_op(OP_HEAD).duration_s(0, self._rng),
+            stream,
+        )
+        return present
+
+    def list_keys(self, prefix: str = "", stream: str = "") -> list[str]:
+        """LIST request: all keys under a prefix, sorted."""
+        keys = self.backend.list_objects(
+            StorageRequest(OP_LIST, prefix, stream=stream)
+        )
+        self._record_op(
+            OP_LIST,
+            prefix,
+            len(keys),
+            0,
+            self.clock.now,
+            self.costs.for_op(OP_LIST).duration_s(len(keys), self._rng),
+            stream,
+        )
+        return keys
 
     def object_size(self, key: str) -> int:
         """Logical size of a stored object.

@@ -1,0 +1,172 @@
+"""The S3-style remote object backend: request costs, multipart, ranges.
+
+Unlike the in-process backends, a remote object store answers *API
+requests*: every PUT/GET/LIST/DELETE/HEAD pays a base request latency
+on top of the link's per-byte streaming time, large uploads go through
+the multipart protocol (create -> N part PUTs -> complete), and large
+reads may be issued as ranged GETs. :class:`RemoteObjectBackend` models
+exactly that surface:
+
+* it *owns* its :class:`~repro.storage.requests.OpCostSuite` — per-class
+  base latencies (with optional jitter/tail) plus the per-byte times the
+  shared link imposes;
+* multipart uploads are first-class: parts accumulate invisibly under an
+  upload id, and only a successful *complete* request makes the
+  assembled object visible — an aborted upload leaves **no** observable
+  key, which is the atomicity property checkpoint writers rely on;
+* ``part_size_bytes``/``fanout``/``range_get_bytes`` tell the timed
+  store how to split large transfers and how many parallel request
+  lanes amortise per-part latency.
+
+The timed fan-out itself lives in
+:meth:`repro.storage.object_store.ObjectStore.put` /
+:meth:`~repro.storage.object_store.ObjectStore.get`, which drive this
+backend's control-plane methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import BackendConfig
+from ..errors import StorageError
+from .backends import InMemoryBackend
+from .requests import OpCostModel, OpCostSuite
+
+#: Single source of the s3like latency defaults: the same values a
+#: default ``BackendConfig`` carries, so direct ``s3like_costs()``
+#: callers and the config factory can never drift apart.
+_DEFAULTS = BackendConfig(kind="s3like")
+
+
+def s3like_costs(
+    write_bandwidth: float,
+    read_bandwidth: float,
+    put_latency_s: float = _DEFAULTS.put_latency_s,
+    get_latency_s: float = _DEFAULTS.get_latency_s,
+    list_latency_s: float = _DEFAULTS.list_latency_s,
+    delete_latency_s: float = _DEFAULTS.delete_latency_s,
+    head_latency_s: float = _DEFAULTS.head_latency_s,
+    list_per_key_s: float = _DEFAULTS.list_per_key_s,
+    jitter_s: float = _DEFAULTS.jitter_s,
+    tail_prob: float = _DEFAULTS.tail_prob,
+    tail_factor: float = _DEFAULTS.tail_factor,
+) -> OpCostSuite:
+    """An S3-shaped cost table: real request latencies per op class.
+
+    The default latencies (from :class:`BackendConfig`) are
+    order-of-magnitude figures for an object store in the same region
+    (tens of milliseconds per request); bytes stream at the configured
+    link bandwidths. LIST pays a small per-key time on top of its base
+    latency.
+    """
+    shared = dict(
+        jitter_s=jitter_s, tail_prob=tail_prob, tail_factor=tail_factor
+    )
+    return OpCostSuite(
+        put=OpCostModel(
+            base_latency_s=put_latency_s,
+            seconds_per_byte=1.0 / write_bandwidth,
+            **shared,
+        ),
+        get=OpCostModel(
+            base_latency_s=get_latency_s,
+            seconds_per_byte=1.0 / read_bandwidth,
+            **shared,
+        ),
+        list=OpCostModel(
+            base_latency_s=list_latency_s,
+            seconds_per_byte=list_per_key_s,
+            **shared,
+        ),
+        delete=OpCostModel(base_latency_s=delete_latency_s, **shared),
+        head=OpCostModel(base_latency_s=head_latency_s, **shared),
+    )
+
+
+class RemoteObjectBackend(InMemoryBackend):
+    """S3-style storage: costed requests, multipart upload, ranged GET.
+
+    The data plane is the in-memory dict store; what makes it "remote"
+    is everything around it — the backend-owned per-op-class cost
+    suite, the multipart control plane below, and the capability knobs
+    (``part_size_bytes``/``fanout``/``range_get_bytes``) that tell the
+    timed store how to fan large transfers out.
+    """
+
+    def __init__(
+        self,
+        costs: OpCostSuite,
+        part_size_bytes: int | None = 8 * 1024 * 1024,
+        fanout: int = 4,
+        range_get_bytes: int | None = None,
+        seed: int = 0x53AC,
+    ) -> None:
+        if part_size_bytes is not None and part_size_bytes < 1:
+            raise StorageError("part_size_bytes must be positive")
+        if fanout < 1:
+            raise StorageError("fanout must be >= 1")
+        if range_get_bytes is not None and range_get_bytes < 1:
+            raise StorageError("range_get_bytes must be positive")
+        super().__init__(costs=costs)
+        self.part_size_bytes = part_size_bytes
+        self.fanout = fanout
+        self.range_get_bytes = range_get_bytes
+        #: RNG for jitter/tail draws; owned here so runs stay
+        #: deterministic under the backend's seed.
+        self.rng = np.random.default_rng(seed)
+        #: upload id -> (key, {part_number: bytes}); parts are invisible
+        #: until the upload completes.
+        self._uploads: dict[str, tuple[str, dict[int, bytes]]] = {}
+        self._upload_counter = 0
+        #: Multipart bookkeeping (for reports/tests).
+        self.multipart_completed = 0
+        self.multipart_aborted = 0
+
+    # -- multipart control plane ---------------------------------------
+
+    def create_multipart(self, key: str) -> str:
+        """Open a multipart upload; returns its upload id."""
+        upload_id = f"mpu-{self._upload_counter:06d}"
+        self._upload_counter += 1
+        self._uploads[upload_id] = (key, {})
+        return upload_id
+
+    def upload_part(
+        self, upload_id: str, part_number: int, data: bytes
+    ) -> None:
+        """Stage one part (1-based numbering, S3 style)."""
+        if part_number < 1:
+            raise StorageError(f"part numbers are 1-based: {part_number}")
+        _, parts = self._upload(upload_id)
+        parts[part_number] = bytes(data)
+
+    def complete_multipart(self, upload_id: str) -> None:
+        """Assemble the staged parts into the visible object."""
+        key, parts = self._upload(upload_id)
+        if not parts:
+            raise StorageError(f"upload {upload_id!r} has no parts")
+        assembled = b"".join(
+            parts[number] for number in sorted(parts)
+        )
+        self._objects[key] = assembled
+        del self._uploads[upload_id]
+        self.multipart_completed += 1
+
+    def abort_multipart(self, upload_id: str) -> None:
+        """Discard a partial upload; the object never becomes visible."""
+        self._upload(upload_id)
+        del self._uploads[upload_id]
+        self.multipart_aborted += 1
+
+    def pending_uploads(self) -> list[str]:
+        """Upload ids opened but neither completed nor aborted."""
+        return sorted(self._uploads)
+
+    def _upload(self, upload_id: str) -> tuple[str, dict[int, bytes]]:
+        try:
+            return self._uploads[upload_id]
+        except KeyError:
+            raise StorageError(
+                f"no open multipart upload {upload_id!r}"
+            ) from None

@@ -21,7 +21,9 @@ import json
 import sys
 
 from ..config import (
+    BACKEND_KINDS,
     STORM_DOMAINS,
+    BackendConfig,
     CheckpointConfig,
     FleetConfig,
     StorageConfig,
@@ -39,7 +41,6 @@ from ..distributed.trainer import SimTrainer
 from ..errors import ReproError
 from ..experiments.common import small_config
 from ..model.dlrm import DLRM
-from ..storage.backends import FileBackend
 from ..storage.object_store import ObjectStore
 from .inspect import format_summaries, scrub_job, summarize_job
 
@@ -47,9 +48,10 @@ JOB_CONFIG_KEY = "{job}/job_config.json"
 
 
 def _open_store(store_dir: str, clock: SimClock) -> ObjectStore:
-    return ObjectStore(
-        StorageConfig(), clock, backend=FileBackend(store_dir)
+    config = StorageConfig(
+        backend=BackendConfig(kind="file", root=store_dir)
     )
+    return ObjectStore(config, clock)
 
 
 def _build_from_stored_config(store: ObjectStore, job: str, clock):
@@ -258,6 +260,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable prod preemption of experimental staged writes",
     )
     fleet.add_argument(
+        "--backend", choices=list(BACKEND_KINDS), default="memory",
+        help="shared-store byte backend; 's3like' models per-op-class "
+        "request latencies, multipart upload and ranged GETs",
+    )
+    fleet.add_argument(
+        "--part-size", type=int, default=None, metavar="BYTES",
+        help="multipart part size for --backend s3like (objects above "
+        "this upload as parallel parts; default: single-shot PUTs)",
+    )
+    fleet.add_argument(
+        "--part-fanout", type=int, default=4,
+        help="parallel upload lanes for multipart parts / ranged GETs",
+    )
+    fleet.add_argument(
+        "--put-latency", type=float, default=0.030, metavar="SECONDS",
+        help="s3like per-request PUT latency",
+    )
+    fleet.add_argument(
+        "--get-latency", type=float, default=0.020, metavar="SECONDS",
+        help="s3like per-request GET latency",
+    )
+    fleet.add_argument(
+        "--range-get", type=int, default=None, metavar="BYTES",
+        help="split s3like GETs above this size into ranged sub-GETs",
+    )
+    fleet.add_argument(
         "--out", default="benchmarks/results",
         help="directory for fleet_aggregate.txt",
     )
@@ -289,6 +317,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         run_fleet,
     )
 
+    storage = StorageConfig(
+        backend=BackendConfig(
+            kind=args.backend,
+            part_size_bytes=args.part_size,
+            multipart_fanout=args.part_fanout,
+            put_latency_s=args.put_latency,
+            get_latency_s=args.get_latency,
+            range_get_bytes=args.range_get,
+        )
+    )
     config = FleetConfig(
         num_jobs=args.jobs,
         intervals_per_job=args.intervals,
@@ -301,6 +339,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         rack_size=args.rack_size,
         preempt_wait_s=args.preempt_wait,
         preempt_staged_writes=not args.no_preempt,
+        storage=storage,
     )
     _, report = run_fleet(config)
     reduction = fleet_reduction_experiment(config)
@@ -311,6 +350,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         variant += f", priority mix {args.priority_mix:.2f}"
     if args.storm is not None:
         variant += f", storm {args.storm}"
+    if args.backend != "memory":
+        variant += f", backend {args.backend}"
+        if args.part_size is not None:
+            variant += f" (part {args.part_size} B x{args.part_fanout})"
     body = "\n".join(
         [
             f"== Fleet run: {args.jobs} jobs x {args.intervals} "
