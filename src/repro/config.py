@@ -212,6 +212,23 @@ class BackendConfig:
     range_get_bytes: int | None = None
     #: Seed for the backend's jitter/tail RNG.
     seed: int = 0x53AC
+    # -- transient-failure injection (s3like) --------------------------
+    #: Per-request probability that a request of the given op class
+    #: fails transiently (throttle/5xx) before touching any data. The
+    #: transfer engine's retry loop re-issues failed requests; draws
+    #: come from a dedicated RNG so runs stay deterministic under
+    #: ``failure_seed``. Part uploads and multipart completions count
+    #: as PUT-class requests.
+    put_failure_prob: float = 0.0
+    get_failure_prob: float = 0.0
+    list_failure_prob: float = 0.0
+    delete_failure_prob: float = 0.0
+    head_failure_prob: float = 0.0
+    #: Seed for the failure-injection RNG (separate from the jitter
+    #: ``seed``, so the injected failure *sequence* is reproducible on
+    #: its own; note that each retried attempt still consumes a jitter
+    #: draw, as a re-issued request would).
+    failure_seed: int = 0xFA17
 
     def __post_init__(self) -> None:
         _require(
@@ -244,6 +261,29 @@ class BackendConfig:
                 self.range_get_bytes >= 1,
                 "range_get_bytes must be positive",
             )
+        for name in (
+            "put_failure_prob",
+            "get_failure_prob",
+            "list_failure_prob",
+            "delete_failure_prob",
+            "head_failure_prob",
+        ):
+            _require(
+                0.0 <= getattr(self, name) <= 1.0,
+                f"{name} must be in [0, 1]",
+            )
+
+    @property
+    def failure_probs(self) -> dict[str, float]:
+        """Per-op-class transient-failure probabilities (only nonzero)."""
+        probs = {
+            "PUT": self.put_failure_prob,
+            "GET": self.get_failure_prob,
+            "LIST": self.list_failure_prob,
+            "DELETE": self.delete_failure_prob,
+            "HEAD": self.head_failure_prob,
+        }
+        return {op: p for op, p in probs.items() if p > 0.0}
 
 
 @dataclass(frozen=True)
@@ -255,6 +295,13 @@ class StorageConfig:
     replication_factor: int = 3
     capacity_bytes: int | None = None
     latency_s: float = 0.010  # per-operation fixed latency
+    #: Transfer-engine retry budget for transient request failures: a
+    #: request is re-issued up to this many times before the failure
+    #: becomes permanent (:class:`~repro.errors.RetriesExhaustedError`).
+    max_retries: int = 5
+    #: Base backoff before the first retry; doubles per attempt
+    #: (exponential backoff in simulated seconds).
+    retry_backoff_s: float = 0.02
     #: Byte backend selection + request-cost knobs. In-process kinds
     #: inherit the flat latency/bandwidth timing above; the ``s3like``
     #: kind carries its own per-op-class cost models.
@@ -264,6 +311,8 @@ class StorageConfig:
         _require(self.write_bandwidth > 0, "write bandwidth must be > 0")
         _require(self.read_bandwidth > 0, "read bandwidth must be > 0")
         _require(self.replication_factor >= 1, "replication factor >= 1")
+        _require(self.max_retries >= 0, "max_retries must be >= 0")
+        _require(self.retry_backoff_s >= 0, "retry_backoff_s must be >= 0")
         if self.capacity_bytes is not None:
             _require(self.capacity_bytes > 0, "capacity must be positive")
         if isinstance(self.backend, dict):
@@ -409,9 +458,22 @@ class FleetConfig:
     #: not all align on the shared link.
     stagger_s: float = 30.0
     keep_last: int = 2
-    #: Admission control: at most this many jobs may have a checkpoint
-    #: in flight on the shared store at once (None = unlimited).
+    #: Deprecated: the legacy fixed cap on simultaneous checkpoint
+    #: writes. A non-None value maps onto the admission controller's
+    #: *static* mode (and emits a :class:`DeprecationWarning`), so
+    #: existing configs and recorded baselines stay reproducible.
+    #: Prefer ``admission_mode="static"`` + this cap, or "dynamic".
     max_concurrent_writes: int | None = None
+    #: Admission-control mode for checkpoint triggers on the shared
+    #: store: ``None`` (auto: "static" when ``max_concurrent_writes``
+    #: is set, else "none"), ``"none"`` (admit everything),
+    #: ``"static"`` (fixed concurrent-write cap), or ``"dynamic"``
+    #: (backlog-driven: defer an experimental job's trigger when the
+    #: link's projected queue delay exceeds ``admission_backlog_factor``
+    #: x the job's checkpoint interval; prod jobs are always admitted).
+    admission_mode: str | None = None
+    #: Dynamic admission threshold, in checkpoint intervals of backlog.
+    admission_backlog_factor: float = 1.0
     #: Per-job live physical-byte quota on the shared store.
     per_job_quota_bytes: int | None = None
 
@@ -490,6 +552,31 @@ class FleetConfig:
                 self.max_concurrent_writes >= 1,
                 "max_concurrent_writes must be >= 1",
             )
+            if self.admission_mode is None:
+                import warnings
+
+                warnings.warn(
+                    "FleetConfig.max_concurrent_writes is deprecated; "
+                    "it now maps to the transfer engine's static "
+                    "admission mode (admission_mode='static'). Prefer "
+                    "setting admission_mode explicitly.",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+        _require(
+            self.admission_mode in (None, "none", "static", "dynamic"),
+            f"unknown admission_mode {self.admission_mode!r}; valid: "
+            "None, 'none', 'static', 'dynamic'",
+        )
+        if self.admission_mode == "static":
+            _require(
+                self.max_concurrent_writes is not None,
+                "static admission mode needs max_concurrent_writes",
+            )
+        _require(
+            self.admission_backlog_factor > 0,
+            "admission_backlog_factor must be > 0",
+        )
         if self.per_job_quota_bytes is not None:
             _require(
                 self.per_job_quota_bytes > 0,
@@ -515,6 +602,18 @@ class FleetConfig:
             0.0 < self.storm_at_fraction < 1.0,
             "storm_at_fraction must be in (0, 1)",
         )
+
+    @property
+    def resolved_admission_mode(self) -> str:
+        """The effective admission mode after the deprecation mapping:
+        an explicit ``admission_mode`` wins; otherwise a legacy
+        ``max_concurrent_writes`` implies ``"static"``; else ``"none"``.
+        """
+        if self.admission_mode is not None:
+            return self.admission_mode
+        if self.max_concurrent_writes is not None:
+            return "static"
+        return "none"
 
 
 @dataclass(frozen=True)

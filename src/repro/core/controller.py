@@ -481,16 +481,25 @@ class CheckNRun:
         return event
 
     def abort_pending(self, pending: PendingCheckpoint) -> None:
-        """Abandon a staged write after a mid-write crash.
+        """Abandon a staged write after a crash or preemption.
 
         Already-stored chunks stay behind as a *torn* checkpoint — no
         manifest was written, so the restore path never considers it
-        (the manifest-last invariant). The snapshot's host memory is
-        released; controller state is otherwise untouched, since the
-        crash recovery path rebuilds it from stored manifests.
+        (the manifest-last invariant). Closing the staged generator
+        additionally aborts any in-flight multipart upload through the
+        transfer engine, so a write preempted mid-part leaves no
+        visible object and no orphaned parts behind. The snapshot's
+        host memory is released; controller state is otherwise
+        untouched, since the crash recovery path rebuilds it from
+        stored manifests.
         """
         pending.snapshot.release(self.trainer)
-        pending.steps = iter(())  # drop the generator; no more PUTs
+        steps = pending.steps
+        pending.steps = iter(())  # no more PUTs
+        pending.next_step = None
+        close = getattr(steps, "close", None)
+        if close is not None:
+            close()  # GeneratorExit -> StagedPut.abort() mid-upload
 
     def _last_checkpoint_id(self) -> str | None:
         if not self.manifests:

@@ -4,12 +4,17 @@ Working from an in-memory snapshot, the writer:
 
 1. selects rows per shard (all rows for a full checkpoint, the
    tracker-masked rows for an incremental one);
-2. quantizes chunk by chunk on the background CPU lane (real numpy
-   work, plus a calibrated simulated latency at paper scale);
+2. quantizes chunk by chunk on the transfer engine's *worker pool*
+   (real numpy work on background threads, so the measured wall time
+   overlaps the writer's own encode/submit work the same way the
+   calibrated simulated quantization lane overlaps the storage
+   timeline), plus a simulated latency at paper scale;
 3. stores each chunk as soon as it is quantized — the storage transfer
    of chunk *k* overlaps the quantization of chunk *k + 1*, which is
    why the paper calls the effective quantization latency "virtually
-   zero" when storage bandwidth is the bottleneck;
+   zero" when storage bandwidth is the bottleneck. Against a multipart
+   backend a chunk is staged as individual *parts*, announced one at a
+   time so a fleet scheduler can interleave parts from many jobs;
 4. writes the manifest last; its completion time is the checkpoint's
    validity time.
 
@@ -19,12 +24,13 @@ ids, quantized (or raw fp32) weights, and the optimizer accumulator.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Generator
+from typing import Callable, Generator
 
 import numpy as np
 
-from ..distributed.clock import SimClock, Stopwatch, Timeline
+from ..distributed.clock import SimClock, Timeline
 from ..errors import CheckpointError
 from ..metrics.latency import LatencyModel
 from ..quant.base import Quantizer
@@ -44,6 +50,12 @@ from .manifest import (
 )
 from .snapshot import ModelSnapshot
 
+#: How many chunks ahead of the current store submission the writer
+#: keeps quantization tasks in flight on the worker pool. 2 keeps the
+#: pool busy across the caller's encode/submit work without holding
+#: more than a few chunk payloads in memory.
+QUANT_LOOKAHEAD = 2
+
 
 @dataclass(frozen=True)
 class WriteReport:
@@ -59,11 +71,23 @@ class WriteReport:
     measured_quantize_s: float  # real numpy wall time (transparency)
     started_at_s: float
     valid_at_s: float
+    #: Real seconds the writer *blocked* waiting on worker-pool
+    #: quantization tasks (0 when every task finished behind other
+    #: work). ``measured_quantize_s - measured_wait_s`` is the measured
+    #: wall-time overlap the pool bought.
+    measured_wait_s: float = 0.0
 
     @property
     def pipeline_duration_s(self) -> float:
         """Trigger-to-valid latency of the checkpoint."""
         return self.valid_at_s - self.started_at_s
+
+    @property
+    def measured_overlap_s(self) -> float:
+        """Real quantization seconds hidden behind the writer's own
+        encode/submit progress — the measured counterpart of the
+        simulated pipelining."""
+        return max(0.0, self.measured_quantize_s - self.measured_wait_s)
 
 
 @dataclass(frozen=True)
@@ -71,17 +95,59 @@ class WriteStep:
     """One pending store submission of a staged checkpoint write.
 
     The staged writer (see :meth:`CheckpointWriter.write_checkpoint_steps`)
-    yields a ``WriteStep`` *before* each object PUT. ``ready_s`` is the
-    earliest simulated time the transfer could start (a chunk's
-    quantization-finish time on the CPU lane); the fleet scheduler uses
-    it to interleave chunk submissions from concurrent jobs in event
-    order, which is what makes cross-job link sharing fair at chunk
-    granularity. Resuming the generator performs the PUT.
+    yields a ``WriteStep`` *before* each object PUT request. Against a
+    multipart backend one chunk yields one step per *part*
+    (``part_index`` of ``num_parts``); elsewhere a step is a whole
+    object. ``ready_s`` is the earliest simulated time the transfer
+    could start (a chunk's quantization-finish time on the CPU lane);
+    the fleet scheduler uses it to interleave submissions from
+    concurrent jobs in event order, which is what makes cross-job link
+    sharing fair at part granularity. Resuming the generator performs
+    the submission.
     """
 
     kind: str  # "chunk", "dense", or "manifest"
     key: str
     ready_s: float
+    part_index: int = 1
+    num_parts: int = 1
+
+
+def _encode_chunk_payloads(
+    quantizer: Quantizer,
+    weights: np.ndarray,
+    accumulator: np.ndarray,
+    quantize_state: bool,
+    bits: int,
+) -> tuple[bytes, bytes, float]:
+    """Worker-pool task: quantize one chunk's weights + accumulator.
+
+    The accumulator is one scalar per row; quantizing it as a single
+    long vector keeps the parameter overhead to one (xmin, xmax) pair
+    instead of one pair per row. Returns the two encoded payloads plus
+    the task's real busy seconds.
+    """
+    start = time.perf_counter()
+    weights_payload = encode_payload(quantizer.quantize(weights))
+    if not quantize_state or accumulator.size == 0:
+        accum_payload = encode_array(accumulator.astype(np.float32))
+    else:
+        accum_payload = encode_payload(
+            AsymmetricQuantizer(max(bits, 8)).quantize(
+                accumulator.reshape(1, -1).astype(np.float32)
+            )
+        )
+    return weights_payload, accum_payload, time.perf_counter() - start
+
+
+class _InlineTask:
+    """Worker-pool stand-in for stores without a transfer engine."""
+
+    def __init__(self, value: object) -> None:
+        self._value = value
+
+    def result(self) -> object:
+        return self._value
 
 
 class CheckpointWriter:
@@ -107,36 +173,57 @@ class CheckpointWriter:
             return np.flatnonzero(mask).astype(np.int64)
         raise CheckpointError(f"unknown checkpoint kind {kind!r}")
 
-    def _quantize_weights(
-        self,
-        quantizer: Quantizer,
-        weights: np.ndarray,
-        stopwatch: Stopwatch,
-    ) -> bytes:
-        with stopwatch:
-            qt = quantizer.quantize(weights)
-        return encode_payload(qt)
+    def _planned_parts(self, nbytes: int) -> int:
+        """Multipart part count the store will split a payload into."""
+        part_size = getattr(self.store.backend, "part_size_bytes", None)
+        if part_size is None or nbytes <= part_size:
+            return 1
+        return -(-nbytes // part_size)
 
-    def _encode_accumulator(
+    def _staged_write(
         self,
-        accumulator: np.ndarray,
-        quantize_state: bool,
-        bits: int,
-        stopwatch: Stopwatch,
-    ) -> bytes:
-        """Accumulators ride along: 8-bit asymmetric or raw fp32.
+        step_kind: str,
+        key: str,
+        payload: "bytes | Callable[[], bytes]",
+        ready_s: float,
+        earliest: float | None,
+        announce_bytes: int | None = None,
+    ) -> Generator[WriteStep, None, object]:
+        """Stage one object PUT, yielding before every part request.
 
-        The accumulator is one scalar per row; quantizing it as a single
-        long vector keeps the parameter overhead to one (xmin, xmax)
-        pair instead of one pair per row.
+        The first yield announces the write; quota and capacity are
+        only checked on resume, before any link time is spent, and a
+        callable ``payload`` is also only built then (the manifest's
+        validity prediction must read the link state at submission
+        time, not announce time — pass ``announce_bytes`` so the
+        announced part count does not need the built payload). Each
+        subsequent resume submits exactly one part. Closing the
+        generator mid-flight aborts the staged upload — no visible
+        object, no orphaned parts.
         """
-        if not quantize_state or accumulator.size == 0:
-            return encode_array(accumulator.astype(np.float32))
-        with stopwatch:
-            qt = AsymmetricQuantizer(max(bits, 8)).quantize(
-                accumulator.reshape(1, -1).astype(np.float32)
-            )
-        return encode_payload(qt)
+        if announce_bytes is None:
+            assert isinstance(payload, (bytes, bytearray))
+            announce_bytes = len(payload)
+        num_parts = self._planned_parts(announce_bytes)
+        yield WriteStep(step_kind, key, ready_s, 1, num_parts)
+        if callable(payload):
+            payload = payload()
+        staged = self.store.stage_put(key, payload, earliest=earliest)
+        try:
+            receipt = staged.submit_next()
+            while receipt is None:
+                yield WriteStep(
+                    step_kind,
+                    key,
+                    staged.next_ready_s,
+                    staged.next_part_number,
+                    staged.num_parts,
+                )
+                receipt = staged.submit_next()
+            return receipt
+        except GeneratorExit:
+            staged.abort()
+            raise
 
     # ------------------------------------------------------------------
 
@@ -193,21 +280,29 @@ class CheckpointWriter:
         adaptive_num_bins: int = 25,
         adaptive_ratio: float = 1.0,
     ) -> Generator[WriteStep, None, tuple[CheckpointManifest, WriteReport]]:
-        """Staged checkpoint write: yields before every object PUT.
+        """Staged checkpoint write: yields before every PUT request.
 
-        Quantization runs eagerly when the generator is advanced; the
-        following PUT is deferred until the next resume, so a fleet
-        scheduler can interleave chunk submissions from many jobs on
-        the shared link in ``ready_s`` order. Abandoning the generator
-        mid-flight leaves chunks without a manifest — exactly the torn
-        state a mid-write crash produces, which the restore path must
-        skip (manifest-last invariant, paper section 4.4).
+        Quantization runs on the transfer engine's worker pool with a
+        :data:`QUANT_LOOKAHEAD`-deep pipeline, so the measured wall
+        time of chunk *k + 1*'s quantization overlaps chunk *k*'s
+        encoding and submission; the simulated quantization lane models
+        the same overlap in simulated time. Each PUT is announced
+        before it is submitted — against a multipart backend, once per
+        *part* — so a fleet scheduler can interleave submissions from
+        many jobs on the shared link in ``ready_s`` order. Abandoning
+        the generator mid-flight leaves chunks without a manifest —
+        exactly the torn state a mid-write crash produces, which the
+        restore path must skip (manifest-last invariant, paper section
+        4.4); *closing* it additionally aborts any in-flight multipart
+        upload so no orphaned parts survive.
         """
         if chunk_rows < 1:
             raise CheckpointError("chunk_rows must be >= 1")
         started_at = self.clock.now
-        stopwatch = Stopwatch()
+        engine = getattr(self.store, "engine", None)
         quantize_sim_total = 0.0
+        measured_quantize = 0.0
+        measured_wait = 0.0
         logical_total = 0
         physical_total = 0
         rows_total = 0
@@ -215,100 +310,144 @@ class CheckpointWriter:
         last_end = started_at
         shard_records: list[ShardRecord] = []
 
+        def submit_quantize(
+            weights: np.ndarray, accumulator: np.ndarray
+        ) -> object:
+            args = (
+                quantizer,
+                weights,
+                accumulator,
+                quantize_optimizer_state,
+                quantizer.bits,
+            )
+            if engine is None:
+                return _InlineTask(_encode_chunk_payloads(*args))
+            return engine.submit_task(_encode_chunk_payloads, *args)
+
+        # Chunk plan across *all* shards, so the quantization lookahead
+        # pipelines over shard boundaries too (fleet-scale jobs often
+        # hold exactly one chunk per shard).
+        plans: list[tuple[object, int, np.ndarray]] = []
+        chunk_records_by_shard: dict[int, list[ChunkRecord]] = {}
         for shard in snapshot.shards.values():
+            chunk_records_by_shard[shard.shard_id] = []
             selected = self._select_rows(kind, shard.mask)
-            chunk_records: list[ChunkRecord] = []
             for chunk_index, start in enumerate(
                 range(0, selected.shape[0], chunk_rows)
             ):
-                local_rows = selected[start : start + chunk_rows]
-                table_rows = local_rows + shard.row_start
-                weights = shard.weight[local_rows]
-                accum = shard.accumulator[local_rows]
-
-                # Real quantization (measured) + simulated CPU latency.
-                weights_payload = self._quantize_weights(
-                    quantizer, weights, stopwatch
-                )
-                accum_payload = self._encode_accumulator(
-                    accum,
-                    quantize_optimizer_state,
-                    quantizer.bits,
-                    stopwatch,
-                )
-                quant_sim = self.latency_model.for_quantizer(
-                    quantizer.name,
-                    int(weights.size),
-                    bits=quantizer.bits,
-                    num_bins=adaptive_num_bins,
-                    ratio=adaptive_ratio,
-                )
-                quantize_sim_total += quant_sim
-                quant_span = self.quant_lane.submit(
-                    quant_sim, label=f"quant:{checkpoint_id}:{shard.shard_id}"
+                plans.append(
+                    (
+                        shard,
+                        chunk_index,
+                        selected[start : start + chunk_rows],
+                    )
                 )
 
-                # Row-id encoding: full checkpoints cover contiguous
-                # ranges, so only (row_base, row_count) metadata is
-                # needed; incremental chunks store explicit ids, int32
-                # when the table permits (it always does below 2^31
-                # rows) to halve the id overhead.
-                if kind == KIND_FULL:
-                    rows_payload = encode_array(
-                        np.zeros(0, dtype=np.int32)
+        # Lookahead pipeline: quantization tasks for the next few
+        # chunks run on the pool while this thread encodes frames and
+        # submits parts for the current one.
+        tasks: list[object | None] = [None] * len(plans)
+        for plan_index, (shard, chunk_index, local_rows) in enumerate(
+            plans
+        ):
+            for ahead in range(
+                plan_index,
+                min(plan_index + 1 + QUANT_LOOKAHEAD, len(plans)),
+            ):
+                if tasks[ahead] is None:
+                    ahead_shard, _, rows = plans[ahead]
+                    tasks[ahead] = submit_quantize(
+                        ahead_shard.weight[rows],
+                        ahead_shard.accumulator[rows],
                     )
-                    row_base = int(table_rows[0]) if table_rows.size else 0
-                else:
-                    rows_payload = encode_array(
-                        table_rows.astype(np.int32)
-                        if table_rows.size == 0
-                        or table_rows.max() < 2**31
-                        else table_rows
-                    )
-                    row_base = -1
-                blob = encode_frames(
-                    {
-                        "checkpoint_id": checkpoint_id,
-                        "shard_id": shard.shard_id,
-                        "table_id": shard.table_id,
-                        "chunk_index": chunk_index,
-                        "row_count": int(table_rows.shape[0]),
-                        "row_base": row_base,
-                    },
-                    [
-                        (0, rows_payload),
-                        (1, weights_payload),
-                        (2, accum_payload),
-                    ],
+            task = tasks[plan_index]
+            tasks[plan_index] = None
+            assert task is not None
+            blocked = time.perf_counter()
+            weights_payload, accum_payload, busy_s = task.result()
+            measured_wait += time.perf_counter() - blocked
+            measured_quantize += busy_s
+
+            table_rows = local_rows + shard.row_start
+            num_values = int(local_rows.shape[0]) * int(
+                shard.weight.shape[1]
+            )
+            quant_sim = self.latency_model.for_quantizer(
+                quantizer.name,
+                num_values,
+                bits=quantizer.bits,
+                num_bins=adaptive_num_bins,
+                ratio=adaptive_ratio,
+            )
+            quantize_sim_total += quant_sim
+            quant_span = self.quant_lane.submit(
+                quant_sim, label=f"quant:{checkpoint_id}:{shard.shard_id}"
+            )
+
+            # Row-id encoding: full checkpoints cover contiguous
+            # ranges, so only (row_base, row_count) metadata is
+            # needed; incremental chunks store explicit ids, int32
+            # when the table permits (it always does below 2^31
+            # rows) to halve the id overhead.
+            if kind == KIND_FULL:
+                rows_payload = encode_array(
+                    np.zeros(0, dtype=np.int32)
                 )
-                key = chunk_key(
-                    job_id, checkpoint_id, shard.shard_id, chunk_index
+                row_base = int(table_rows[0]) if table_rows.size else 0
+            else:
+                rows_payload = encode_array(
+                    table_rows.astype(np.int32)
+                    if table_rows.size == 0
+                    or table_rows.max() < 2**31
+                    else table_rows
                 )
-                yield WriteStep("chunk", key, quant_span.end)
-                # Pipelining: the store transfer cannot start before
-                # this chunk's quantization finished on the CPU lane.
-                receipt = self.store.put(
-                    key, blob, earliest=quant_span.end
+                row_base = -1
+            blob = encode_frames(
+                {
+                    "checkpoint_id": checkpoint_id,
+                    "shard_id": shard.shard_id,
+                    "table_id": shard.table_id,
+                    "chunk_index": chunk_index,
+                    "row_count": int(table_rows.shape[0]),
+                    "row_base": row_base,
+                },
+                [
+                    (0, rows_payload),
+                    (1, weights_payload),
+                    (2, accum_payload),
+                ],
+            )
+            key = chunk_key(
+                job_id, checkpoint_id, shard.shard_id, chunk_index
+            )
+            # Pipelining: the store transfer cannot start before
+            # this chunk's quantization finished on the CPU lane.
+            receipt = yield from self._staged_write(
+                "chunk", key, blob, quant_span.end, quant_span.end
+            )
+            chunk_records_by_shard[shard.shard_id].append(
+                ChunkRecord(
+                    key=key,
+                    row_count=int(table_rows.shape[0]),
+                    logical_bytes=receipt.logical_bytes,
                 )
-                chunk_records.append(
-                    ChunkRecord(
-                        key=key,
-                        row_count=int(table_rows.shape[0]),
-                        logical_bytes=receipt.logical_bytes,
-                    )
-                )
-                logical_total += receipt.logical_bytes
-                physical_total += receipt.physical_bytes
-                rows_total += int(table_rows.shape[0])
-                chunks_total += 1
-                last_end = max(last_end, receipt.end_s)
+            )
+            logical_total += receipt.logical_bytes
+            physical_total += receipt.physical_bytes
+            rows_total += int(table_rows.shape[0])
+            chunks_total += 1
+            last_end = max(last_end, receipt.end_s)
+
+        for shard in snapshot.shards.values():
             shard_records.append(
                 ShardRecord(
                     shard_id=shard.shard_id,
                     table_id=shard.table_id,
                     row_start=shard.row_start,
                     row_end=shard.row_end,
-                    chunks=tuple(chunk_records),
+                    chunks=tuple(
+                        chunk_records_by_shard[shard.shard_id]
+                    ),
                 )
             )
 
@@ -323,11 +462,12 @@ class CheckpointWriter:
                 )
             ],
         )
-        yield WriteStep(
-            "dense", dense_key(job_id, checkpoint_id), self.clock.now
-        )
-        dense_receipt = self.store.put(
-            dense_key(job_id, checkpoint_id), dense_blob
+        dense_receipt = yield from self._staged_write(
+            "dense",
+            dense_key(job_id, checkpoint_id),
+            dense_blob,
+            self.clock.now,
+            None,
         )
         logical_total += dense_receipt.logical_bytes
         physical_total += dense_receipt.physical_bytes
@@ -352,25 +492,33 @@ class CheckpointWriter:
                 dense_bytes=dense_receipt.logical_bytes,
             )
 
-        yield WriteStep(
-            "manifest", manifest_key(job_id, checkpoint_id), last_end
-        )
-        # The manifest's validity time is the landing time of its own
-        # bytes; predict it from the timeline before the single PUT (a
-        # few bytes of JSON length drift, or backend jitter draws, are
-        # timing noise). The store's per-op-class cost model owns the
-        # PUT duration — the writer no longer assumes flat link math.
+        mkey = manifest_key(job_id, checkpoint_id)
         draft = build_manifest(0.0).to_json().encode("utf-8")
-        duration = self.store.predict_put_duration(len(draft))
-        predicted_start = max(
-            self.clock.now, self.store.timeline.free_at, last_end
+        built: list[CheckpointManifest] = []
+
+        def manifest_payload() -> bytes:
+            # The manifest's validity time is the landing time of its
+            # own bytes; predict it from the timeline at submission
+            # time (a few bytes of JSON length drift, backend jitter
+            # draws, or multipart completion latency are timing
+            # noise). The store's per-op-class cost model owns the PUT
+            # duration — the writer no longer assumes flat link math.
+            duration = self.store.predict_put_duration(len(draft))
+            predicted_start = max(
+                self.clock.now, self.store.timeline.free_at, last_end
+            )
+            built.append(build_manifest(predicted_start + duration))
+            return built[0].to_json().encode("utf-8")
+
+        yield from self._staged_write(
+            "manifest",
+            mkey,
+            manifest_payload,
+            last_end,
+            last_end,
+            announce_bytes=len(draft),
         )
-        manifest = build_manifest(predicted_start + duration)
-        self.store.put(
-            manifest_key(job_id, checkpoint_id),
-            manifest.to_json().encode("utf-8"),
-            earliest=last_end,
-        )
+        manifest = built[0]
 
         report = WriteReport(
             checkpoint_id=checkpoint_id,
@@ -380,8 +528,9 @@ class CheckpointWriter:
             rows_written=rows_total,
             num_chunks=chunks_total,
             quantize_sim_s=quantize_sim_total,
-            measured_quantize_s=stopwatch.elapsed,
+            measured_quantize_s=measured_quantize,
             started_at_s=started_at,
             valid_at_s=manifest.valid_at_s,
+            measured_wait_s=measured_wait,
         )
         return manifest, report

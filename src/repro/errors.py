@@ -49,6 +49,17 @@ class StorageError(ReproError):
     """Base class for object-store failures."""
 
 
+class TransientStorageError(StorageError):
+    """A request failed in a way a retry may fix (throttling, a dropped
+    connection, a 5xx from the object store). The transfer engine's
+    retry/backoff loop re-issues these; only after exhausting its retry
+    budget does the failure become permanent."""
+
+
+class RetriesExhaustedError(StorageError):
+    """A request kept failing transiently past the engine's retry budget."""
+
+
 class ObjectNotFoundError(StorageError):
     """GET/DELETE on a key that does not exist."""
 

@@ -18,7 +18,7 @@ roll a run up into the per-tier restore-latency and goodput table the
 """
 
 from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD
-from .arbitration import busy_span, interleave_score
+from .arbitration import busy_span, interleave_score, part_split_score
 from .experiment import (
     FleetJobResult,
     FleetReductionResult,
@@ -64,6 +64,7 @@ __all__ = [
     "format_fleet_report",
     "format_storm_report",
     "interleave_score",
+    "part_split_score",
     "run_fleet",
     "sample_fleet_specs",
     "sample_priority_tiers",

@@ -26,6 +26,38 @@ def interleave_score(transfers: list[Transfer]) -> int:
     )
 
 
+def part_split_score(transfers: list[Transfer]) -> int:
+    """How often a multipart chunk's parts were split by another stream.
+
+    Counts positions where a transfer is a multipart *part*
+    (``key#partN``), the next transfer belongs to a different stream,
+    and a later transfer is another part of the same object — i.e. the
+    link served somebody else *in the middle of* a chunk's upload.
+    Whole-chunk submission (parts always back-to-back) scores 0 by
+    construction; the part-granular transfer engine scores high under
+    contention. Untagged transfers are ignored.
+    """
+    tagged = [t for t in transfers if t.stream]
+    bases = [
+        t.key.split("#part", 1)[0] if "#part" in t.key else None
+        for t in tagged
+    ]
+    last_part_index: dict[str, int] = {}
+    for i, base in enumerate(bases):
+        if base is not None:
+            last_part_index[base] = i
+    splits = 0
+    for i in range(len(tagged) - 1):
+        base = bases[i]
+        if base is None:
+            continue
+        if tagged[i + 1].stream == tagged[i].stream:
+            continue
+        if last_part_index[base] > i:
+            splits += 1
+    return splits
+
+
 def busy_span(transfers: list[Transfer]) -> tuple[float, float]:
     """(first start, last end) over a set of transfers."""
     if not transfers:

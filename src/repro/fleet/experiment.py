@@ -19,7 +19,7 @@ them by running whole fleets against one shared store:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
@@ -34,7 +34,8 @@ from ..storage.bandwidth import (
     BandwidthArbiter,
 )
 from ..storage.object_store import ObjectStore
-from .arbitration import busy_span, interleave_score
+from ..storage.requests import OP_CLASSES
+from .arbitration import busy_span, interleave_score, part_split_score
 from .jobs import (
     FleetJobSpec,
     RestoreSample,
@@ -65,6 +66,8 @@ class FleetJobResult:
     torn_writes: int
     scratch_restarts: int
     quota_rejections: int
+    #: Writes lost to retry exhaustion (permanent request failure).
+    failed_writes: int
     preempted_writes: int
     wasted_batches: int
     batches_trained: int
@@ -109,6 +112,26 @@ class FleetRunReport:
     #: Correlated-failure outcome: (domain kind, domain id, fired-at
     #: seconds, affected job ids), or None when no storm was armed/fired.
     storm: tuple[str, str, float, tuple[str, ...]] | None = None
+    #: Checkpoint triggers the admission controller deferred (static
+    #: cap or dynamic backlog), summed over the fleet.
+    admission_deferrals: int = 0
+    #: Transient-failure retries per op class, from the op log's
+    #: receipts: ``((op, total_retries), ...)`` over every class that
+    #: saw requests.
+    retries_by_op: tuple[tuple[str, int], ...] = ()
+    #: How often the link served another stream *mid-chunk* (between
+    #: two multipart parts of one object) — the part-granular
+    #: interleaving the transfer engine provides; 0 on backends
+    #: without multipart.
+    part_interleave_splits: int = 0
+    #: Measured (real, not simulated) quantization worker-pool seconds:
+    #: busy time, caller-blocked time, and their difference — the wall
+    #: time the pool hid behind the writers' own work. Excluded from
+    #: equality: wall-clock measurements differ run to run even when
+    #: the simulation is deterministic.
+    pool_busy_s: float = field(default=0.0, compare=False)
+    pool_wait_s: float = field(default=0.0, compare=False)
+    pool_overlap_s: float = field(default=0.0, compare=False)
 
     @property
     def num_jobs(self) -> int:
@@ -184,6 +207,7 @@ def summarize_fleet(
                 torn_writes=job.torn_writes,
                 scratch_restarts=job.scratch_restarts,
                 quota_rejections=job.quota_rejections,
+                failed_writes=job.failed_writes,
                 preempted_writes=job.preempted_writes,
                 wasted_batches=job.wasted_batches,
                 batches_trained=job.total_batches_trained,
@@ -217,6 +241,12 @@ def summarize_fleet(
             scheduler.storm_fired_at_s,
             scheduler.storm_plan.affected_job_ids,
         )
+    retries_by_op = tuple(
+        (op, sum(r.retries for r in store.ops.receipts(op)))
+        for op in OP_CLASSES
+        if store.ops.receipts(op)
+    )
+    engine = store.engine
     return FleetRunReport(
         jobs=tuple(job_results),
         duration_s=duration,
@@ -237,6 +267,14 @@ def summarize_fleet(
         bandwidth_series=_bandwidth_series(store, windows, "put"),
         read_bandwidth_series=_bandwidth_series(store, windows, "get"),
         storm=storm,
+        admission_deferrals=sum(
+            r.admission_deferred for r in job_results
+        ),
+        retries_by_op=retries_by_op,
+        part_interleave_splits=part_split_score(puts),
+        pool_busy_s=engine.pool_busy_s,
+        pool_wait_s=engine.pool_wait_s,
+        pool_overlap_s=engine.pool_overlap_s,
     )
 
 
@@ -288,9 +326,21 @@ def format_fleet_report(report: FleetRunReport) -> str:
         f" MiB logical / {report.peak_physical_bytes / 2**20:.2f}"
         " MiB physical",
         f"link fairness (Jain, weighted): {report.fairness_index:.3f}",
-        f"cross-job interleave switches: {report.interleave_switches}",
+        f"cross-job interleave switches: {report.interleave_switches}"
+        f"  mid-chunk part splits: {report.part_interleave_splits}",
         f"failures: {report.failures}  restores: {report.restores}"
         f"  torn writes: {report.torn_writes}",
+        "engine retries per op class: "
+        + (
+            "  ".join(
+                f"{op}={retries}" for op, retries in report.retries_by_op
+            )
+            or "none"
+        ),
+        f"admission deferrals: {report.admission_deferrals}",
+        f"quantize pool (measured): {report.pool_busy_s:.3f} s busy, "
+        f"{report.pool_wait_s:.3f} s blocked, "
+        f"{report.pool_overlap_s:.3f} s overlapped",
     ]
     if report.bandwidth_series:
         # Write vs read link load per window, attributed by op class.
@@ -325,6 +375,9 @@ class TierSummary:
     restores: int
     storm_restores: int
     preempted_writes: int
+    #: Checkpoint triggers the admission controller deferred for this
+    #: tier's jobs (dynamic mode defers experimental, admits prod).
+    admission_deferred: int
     #: Restore-latency distribution over the tier's storm restores
     #: (all restores when no storm fired), seconds.
     restore_latency_p50_s: float
@@ -384,6 +437,9 @@ def summarize_tiers(report: FleetRunReport) -> tuple[TierSummary, ...]:
                 restores=sum(j.restores for j in jobs),
                 storm_restores=len(storm_samples),
                 preempted_writes=sum(j.preempted_writes for j in jobs),
+                admission_deferred=sum(
+                    j.admission_deferred for j in jobs
+                ),
                 restore_latency_p50_s=p50,
                 restore_latency_p95_s=p95,
                 restore_latency_max_s=latest,
@@ -413,9 +469,19 @@ def format_storm_report(report: FleetRunReport) -> str:
         f"({report.aggregate_read_bandwidth / 2**20:.3f} MiB/s mean) — "
         "GET-class transfers, attributed separately from writes"
     )
+    lines.append(
+        "engine retries per op class: "
+        + (
+            "  ".join(
+                f"{op}={retries}" for op, retries in report.retries_by_op
+            )
+            or "none"
+        )
+        + f"  |  admission deferrals: {report.admission_deferrals}"
+    )
     lines.append("")
     header = (
-        "tier          jobs  restores  storm  preempt"
+        "tier          jobs  restores  storm  preempt  defer"
         "  rst_p50_s  rst_p95_s  rst_max_s  degrade  goodput  useful_b/s"
     )
     lines.append(header)
@@ -424,6 +490,7 @@ def format_storm_report(report: FleetRunReport) -> str:
         lines.append(
             f"{t.tier:<13s} {t.num_jobs:>4d}  {t.restores:>8d}"
             f"  {t.storm_restores:>5d}  {t.preempted_writes:>7d}"
+            f"  {t.admission_deferred:>5d}"
             f"  {t.restore_latency_p50_s:>9.3f}"
             f"  {t.restore_latency_p95_s:>9.3f}"
             f"  {t.restore_latency_max_s:>9.3f}"

@@ -201,6 +201,9 @@ class FleetJob:
     torn_writes: int = 0
     admission_deferred: int = 0
     quota_rejections: int = 0
+    #: Writes lost to a permanently failing request (transient-failure
+    #: retries exhausted): aborted, scrubbed, training continued.
+    failed_writes: int = 0
     wasted_batches: int = 0
     total_batches_trained: int = 0
     scratch_restarts: int = 0
@@ -209,6 +212,10 @@ class FleetJob:
     #: A preempted staged write awaiting re-stage (set by the fleet
     #: scheduler's abort-and-requeue path, cleared on re-stage/crash).
     requeue_write: bool = False
+    #: Job-clock time of the last checkpoint trigger; successive
+    #: triggers measure the job's checkpoint interval in simulated
+    #: seconds, the admission controller's deferral threshold.
+    last_trigger_s: float | None = None
     restore_samples: list[RestoreSample] = field(default_factory=list)
 
     @property

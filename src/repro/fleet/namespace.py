@@ -78,6 +78,10 @@ class ScopedStore:
     def costs(self):
         return self.base.costs
 
+    @property
+    def engine(self):
+        return self.base.engine
+
     # -- scoped object operations --------------------------------------
 
     def put(
@@ -92,6 +96,29 @@ class ScopedStore:
         if earliest is not None:
             floor = max(floor, earliest)
         return self.base.put(
+            key,
+            data,
+            overwrite=overwrite,
+            earliest=floor,
+            stream=self.job_id,
+        )
+
+    def stage_put(
+        self,
+        key: str,
+        data: bytes,
+        overwrite: bool = False,
+        earliest: float | None = None,
+    ):
+        """Stage a part-granular PUT (see
+        :meth:`~repro.storage.object_store.ObjectStore.stage_put`),
+        namespace-checked, stream-tagged and clock-floored like
+        :meth:`put`."""
+        self._check(key)
+        floor = self.clock.now
+        if earliest is not None:
+            floor = max(floor, earliest)
+        return self.base.stage_put(
             key,
             data,
             overwrite=overwrite,

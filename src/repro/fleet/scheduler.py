@@ -9,12 +9,22 @@ runs sequentially.
 
 Checkpoint writes are *staged* (see
 :meth:`repro.core.controller.CheckNRun.begin_checkpoint`): a job's write
-is a generator that announces each chunk PUT before submitting it. The
-scheduler interleaves announcements from concurrent writers, and when
-several jobs are backlogged behind the link it asks the store's
-:class:`~repro.storage.bandwidth.BandwidthArbiter` which stream's chunk
-goes next (start-time fair queueing). That chunk-level interleaving is
-what turns a serial link into a fair-shared one.
+is a generator that announces each PUT request before submitting it —
+against a multipart backend, each individual *part*. The scheduler
+interleaves announcements from concurrent writers, and when several
+jobs are backlogged behind the link it asks the store's
+:class:`~repro.storage.bandwidth.BandwidthArbiter` which stream's part
+goes next (start-time fair queueing). That part-level interleaving is
+what turns a serial link into a fair-shared one: two jobs uploading
+multipart chunks alternate part by part instead of chunk by chunk.
+
+Checkpoint *triggers* pass through the transfer engine's
+:class:`~repro.storage.engine.AdmissionController` before any snapshot
+is taken. The legacy ``FleetConfig.max_concurrent_writes`` cap maps to
+its static mode; in dynamic mode the controller watches the engine's
+backlog signal (link busy time plus queued part bytes) and defers an
+experimental job's trigger when the projected queue delay exceeds the
+job's own checkpoint interval — prod triggers are always admitted.
 
 Jobs carry paper-style *priority tiers* (prod vs experimental, section
 2.2). The arbiter serves backlogged prod chunks with strict priority,
@@ -56,11 +66,13 @@ from ..errors import (
     CapacityExceededError,
     CheckpointNotFoundError,
     FleetError,
+    RetriesExhaustedError,
 )
 from ..failures.domains import StormPlan, assign_domains, plan_storm
 from ..failures.models import WeibullFailures
 from ..failures.traces import FailureTrace
 from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD
+from ..storage.engine import AdmissionController
 from ..storage.object_store import ObjectStore
 from .jobs import (
     FleetJob,
@@ -79,7 +91,8 @@ class FleetEvent:
     """One observable fleet occurrence (for reports and tests)."""
 
     kind: str  # "written", "write_step", "skipped", "deferred",
-    # "crash", "quota", "preempted", "restaged", or "storm"
+    # "crash", "quota", "write_failed", "preempted", "restaged",
+    # or "storm"
     job_id: str
     time_s: float
     payload: dict = field(default_factory=dict)
@@ -102,6 +115,12 @@ class FleetScheduler:
         self.config = config
         self.store = store
         self.on_event = on_event
+        self.admission = AdmissionController(
+            store.engine,
+            mode=config.resolved_admission_mode,
+            max_concurrent=config.max_concurrent_writes,
+            backlog_factor=config.admission_backlog_factor,
+        )
         if jobs is None:
             jobs = [
                 build_fleet_job(spec, config, store)
@@ -329,6 +348,26 @@ class FleetScheduler:
             self._emit(
                 FleetEvent(
                     "quota",
+                    job.job_id,
+                    job.clock.now,
+                    {"checkpoint_id": pending.checkpoint_id,
+                     "error": str(exc)},
+                )
+            )
+            return
+        except RetriesExhaustedError as exc:
+            # A request kept failing transiently past the engine's
+            # retry budget. The job loses this checkpoint — abort,
+            # scrub the torn chunks, keep training — exactly how every
+            # other simulated storage failure is absorbed; one
+            # exhausted request must not take down the whole fleet run.
+            job.failed_writes += 1
+            job.controller.abort_pending(pending)
+            job.pending = None
+            self._scrub_torn(job, pending.checkpoint_id)
+            self._emit(
+                FleetEvent(
+                    "write_failed",
                     job.job_id,
                     job.clock.now,
                     {"checkpoint_id": pending.checkpoint_id,
@@ -577,6 +616,14 @@ class FleetScheduler:
 
     def _trigger_checkpoint(self, job: FleetJob) -> None:
         job.batches_left = job.spec.interval_batches
+        # Successive triggers measure the job's checkpoint interval —
+        # the dynamic admission controller's deferral threshold.
+        interval_s = (
+            job.clock.now - job.last_trigger_s
+            if job.last_trigger_s is not None
+            else None
+        )
+        job.last_trigger_s = job.clock.now
         # A new interval boundary supersedes any preempted write still
         # waiting to restage — its snapshot would be stale anyway.
         job.requeue_write = False
@@ -586,12 +633,27 @@ class FleetScheduler:
                 FleetEvent("skipped", job.job_id, job.clock.now, {})
             )
             return
-        limit = self.config.max_concurrent_writes
-        if limit is not None and self.active_writes() >= limit:
+        decision = self.admission.decide(
+            stream=job.job_id,
+            tier=job.tier,
+            now=job.clock.now,
+            interval_s=interval_s,
+            active_writes=self.active_writes(),
+        )
+        if not decision.admitted:
             job.admission_deferred += 1
             job.controller.record_skip("admission_deferred")
             self._emit(
-                FleetEvent("deferred", job.job_id, job.clock.now, {})
+                FleetEvent(
+                    "deferred",
+                    job.job_id,
+                    job.clock.now,
+                    {
+                        "reason": decision.reason,
+                        "projected_delay_s": decision.projected_delay_s,
+                        "threshold_s": decision.threshold_s,
+                    },
+                )
             )
             return
         began = job.controller.begin_checkpoint()

@@ -27,7 +27,16 @@ from .bandwidth import (
     StreamState,
     Transfer,
     TransferLog,
+    projected_queue_delay_s,
     transfer_time_s,
+)
+from .engine import (
+    ADMISSION_MODES,
+    AdmissionController,
+    AdmissionDecision,
+    PartPlan,
+    StagedPut,
+    TransferEngine,
 )
 from .factory import make_backend
 from .object_store import (
@@ -55,6 +64,9 @@ from .requests import (
 )
 
 __all__ = [
+    "ADMISSION_MODES",
+    "AdmissionController",
+    "AdmissionDecision",
     "DATA_OPS",
     "OP_CLASSES",
     "OP_DELETE",
@@ -77,16 +89,20 @@ __all__ = [
     "OpCostSuite",
     "OpLog",
     "OpReceipt",
+    "PartPlan",
     "PrefixDeleteReceipt",
     "PutReceipt",
     "RemoteObjectBackend",
+    "StagedPut",
     "StorageRequest",
     "StoreStats",
     "StreamState",
     "Transfer",
+    "TransferEngine",
     "TransferLog",
     "clip_range",
     "make_backend",
+    "projected_queue_delay_s",
     "s3like_costs",
     "transfer_time_s",
 ]

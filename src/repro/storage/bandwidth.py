@@ -156,6 +156,31 @@ class TransferLog:
         return moved / (end_s - start_s)
 
 
+def projected_queue_delay_s(
+    free_at: float,
+    now: float,
+    queued_bytes: int = 0,
+    seconds_per_byte: float = 0.0,
+) -> float:
+    """Projected time a new transfer would queue behind the link.
+
+    The same ``preempt_wait_s``-style backlog signal the tier
+    preemption machinery measures — how far the storage timeline's
+    ``free_at`` sits ahead of a caller's clock — extended with the
+    service time of bytes already *announced* but not yet submitted
+    (the transfer engine's staged parts). The fleet's dynamic admission
+    controller defers checkpoint triggers when this projection exceeds
+    one checkpoint interval.
+    """
+    if queued_bytes < 0:
+        raise StorageError(f"negative queued bytes {queued_bytes}")
+    if seconds_per_byte < 0:
+        raise StorageError(
+            f"negative per-byte time {seconds_per_byte}"
+        )
+    return max(0.0, free_at - now) + queued_bytes * seconds_per_byte
+
+
 def transfer_time_s(
     nbytes: int, bandwidth: float, latency_s: float
 ) -> float:

@@ -62,5 +62,7 @@ def make_backend(
             fanout=config.multipart_fanout,
             range_get_bytes=config.range_get_bytes,
             seed=config.seed,
+            failure_probs=config.failure_probs,
+            failure_seed=config.failure_seed,
         )
     raise ConfigError(f"unknown backend kind {config.kind!r}")

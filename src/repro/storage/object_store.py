@@ -10,13 +10,12 @@ section 4). This store wraps a byte backend with:
   transfers serialise on a storage :class:`Timeline` in simulated time,
   and every op returns a typed
   :class:`~repro.storage.requests.OpReceipt`;
-* **multipart upload / ranged GET fan-out** — against a backend that
-  supports them (the S3-style
-  :class:`~repro.storage.remote.RemoteObjectBackend`), large PUTs split
-  into parts and large GETs into ranged sub-reads; per-part request
-  latency overlaps across parallel lanes while the link serialises the
-  bytes, which amortises per-request latency exactly the way real
-  multipart uploads do;
+* **a transfer engine** — multipart/ranged fan-out, part-granular
+  staged writes, and the transient-failure retry/backoff loop all live
+  in the attached :class:`~repro.storage.engine.TransferEngine`
+  (``store.engine``); ``put``/``get`` delegate to it, and
+  :meth:`ObjectStore.stage_put` exposes the part-granular staged path
+  the checkpoint writer and fleet scheduler interleave on;
 * **replication accounting** — physical bytes = logical x factor;
 * **capacity accounting** — live logical/physical bytes over time, the
   series behind Fig 16, plus an optional hard capacity limit;
@@ -33,9 +32,10 @@ import numpy as np
 
 from ..config import StorageConfig
 from ..distributed.clock import SimClock, Timeline
-from ..errors import CapacityExceededError, ObjectExistsError, StorageError
+from ..errors import StorageError
 from .backends import Backend
-from .bandwidth import BandwidthArbiter, Transfer, TransferLog
+from .bandwidth import BandwidthArbiter, TransferLog
+from .engine import StagedPut, TransferEngine
 from .requests import (
     OP_DELETE,
     OP_GET,
@@ -126,6 +126,10 @@ class ObjectStore:
         self._capacity_series: list[CapacityPoint] = []
         self._peak_physical = 0
         self._total_written = 0
+        #: The transfer engine: part-granular staged PUTs, multipart /
+        #: ranged fan-out, retry/backoff, and the quantization worker
+        #: pool all live here.
+        self.engine = TransferEngine(self)
         self._record_capacity(clock.now)
 
     # ------------------------------------------------------------------
@@ -184,6 +188,7 @@ class ObjectStore:
         issued: float,
         duration: float,
         stream: str,
+        retries: int = 0,
     ) -> OpReceipt:
         """Book a control-plane request (no link occupancy)."""
         receipt = OpReceipt(
@@ -195,10 +200,24 @@ class ObjectStore:
             start_s=issued,
             first_byte_s=issued + duration,
             completed_s=issued + duration,
+            retries=retries,
             stream=stream,
         )
         self.ops.record(receipt)
         return receipt
+
+    def _commit_put(
+        self, key: str, logical: int, receipt: OpReceipt
+    ) -> None:
+        """Book a landed PUT: size map, totals, op log, capacity.
+
+        Called by the transfer engine when a staged write's last part
+        (and its completion request) has been submitted.
+        """
+        self._sizes[key] = logical
+        self._total_written += receipt.physical_bytes
+        self.ops.record(receipt)
+        self._record_capacity(receipt.completed_s)
 
     # ------------------------------------------------------------------
     # Object operations
@@ -220,169 +239,44 @@ class ObjectStore:
         store; when an arbiter is attached, the stream's capacity quota
         is checked (and charged) before any link time is spent.
 
-        Against a backend that advertises ``part_size_bytes``, payloads
-        larger than one part upload through the multipart protocol:
-        per-part PUT requests fan out over ``backend.fanout`` lanes
-        (request latencies overlap; the link serialises bytes) and a
-        completion request publishes the object. A failure mid-upload
-        aborts the multipart — no partial object ever becomes visible.
+        Delegates to the transfer engine: against a backend that
+        advertises ``part_size_bytes``, payloads larger than one part
+        upload through the multipart protocol with per-part request
+        latency overlapped across ``backend.fanout`` lanes, transient
+        request failures are retried with backoff (the receipt's
+        ``retries`` counts them), and a failure mid-upload aborts the
+        multipart — no partial object ever becomes visible.
         """
-        if not key:
-            raise StorageError("object key must be non-empty")
-        if self.backend.exists(key) and not overwrite:
-            raise ObjectExistsError(f"object {key!r} already exists")
-        logical = len(data)
-        physical = logical * self.config.replication_factor
-        previous = self._sizes.get(key, 0)
-        if self.config.capacity_bytes is not None:
-            projected = (
-                self.live_physical_bytes
-                - previous * self.config.replication_factor
-                + physical
-            )
-            if projected > self.config.capacity_bytes:
-                raise CapacityExceededError(
-                    f"PUT {key!r} would raise physical usage to "
-                    f"{projected} bytes, over the "
-                    f"{self.config.capacity_bytes}-byte capacity"
-                )
-        charged = physical - previous * self.config.replication_factor
-        if self.arbiter is not None and stream:
-            self.arbiter.admit_put(stream, charged)
-        part_size = self.backend.part_size_bytes
-        try:
-            if part_size is not None and logical > part_size:
-                receipt = self._put_multipart(
-                    key, data, part_size, earliest, stream
-                )
-            else:
-                receipt = self._put_single(key, data, earliest, stream)
-        except Exception:
-            # The bytes never landed: return the quota charge so a
-            # failing backend cannot leak a stream's budget away.
-            if self.arbiter is not None and stream:
-                self.arbiter.credit_delete(stream, charged)
-            raise
-        self._sizes[key] = logical
-        self._total_written += physical
-        self.ops.record(receipt)
-        self._record_capacity(receipt.completed_s)
-        return receipt
-
-    def _put_single(
-        self,
-        key: str,
-        data: bytes,
-        earliest: float | None,
-        stream: str,
-    ) -> OpReceipt:
-        """One PUT request: latency + bytes, serialised on the link."""
-        cost = self.costs.for_op(OP_PUT)
-        logical = len(data)
-        physical = logical * self.config.replication_factor
-        issued = max(self.clock.now, earliest or 0.0)
-        latency = cost.latency_s(self._rng)
-        duration = latency + cost.transfer_s(physical)
-        span = self.timeline.submit(
-            duration, label=f"put:{key}", earliest=earliest
-        )
-        self.backend.put_object(
-            StorageRequest(OP_PUT, key, logical, stream=stream), data
-        )
-        self.log.record(
-            Transfer(
-                key, physical, span.start, span.end, "put", stream
-            )
-        )
-        if self.arbiter is not None and stream:
-            self.arbiter.on_transfer(stream, physical, "put")
-        return OpReceipt(
-            op=OP_PUT,
-            key=key,
-            logical_bytes=logical,
-            physical_bytes=physical,
-            issued_s=issued,
-            start_s=span.start,
-            first_byte_s=min(span.start + latency, span.end),
-            completed_s=span.end,
+        return self.engine.put(
+            key,
+            data,
+            overwrite=overwrite,
+            earliest=earliest,
             stream=stream,
         )
 
-    def _put_multipart(
+    def stage_put(
         self,
         key: str,
         data: bytes,
-        part_size: int,
-        earliest: float | None,
-        stream: str,
-    ) -> OpReceipt:
-        """Multipart upload: N part PUTs + one completion request.
+        overwrite: bool = False,
+        earliest: float | None = None,
+        stream: str = "",
+    ) -> StagedPut:
+        """Announce a PUT whose parts are submitted one at a time.
 
-        Parts round-robin over ``backend.fanout`` upload lanes: a
-        lane's next part cannot issue before its previous part's bytes
-        finished, but *different* lanes' request latencies overlap the
-        link's byte time — with fanout > 1 only the first part's
-        latency is exposed, the amortisation multipart exists for.
+        The part-granular staged path: quota/capacity are checked now,
+        then each :meth:`~repro.storage.engine.StagedPut.submit_next`
+        call issues exactly one multipart part (or the whole object for
+        single-shot uploads). The fleet scheduler drains staged writes
+        from many jobs through the bandwidth arbiter, so the shared
+        link interleaves *parts*, not whole chunks.
         """
-        backend = self.backend
-        cost = self.costs.for_op(OP_PUT)
-        replication = self.config.replication_factor
-        fanout = max(1, backend.fanout)
-        issued = max(self.clock.now, earliest or 0.0)
-        # Occupancy starts when the link could serve this op (queueing
-        # behind earlier transfers is queue_s, not duration_s — the
-        # same semantics single-shot receipts carry).
-        started = max(issued, self.timeline.free_at)
-        upload_id = backend.create_multipart(key)
-        lane_free = [started] * fanout
-        first_byte: float | None = None
-        parts = 0
-        try:
-            for offset in range(0, len(data), part_size):
-                chunk = data[offset : offset + part_size]
-                lane = parts % fanout
-                latency = cost.latency_s(self._rng)
-                physical = len(chunk) * replication
-                span = self.timeline.submit(
-                    cost.transfer_s(physical),
-                    label=f"put-part:{key}:{parts + 1}",
-                    earliest=lane_free[lane] + latency,
-                )
-                backend.upload_part(upload_id, parts + 1, chunk)
-                lane_free[lane] = span.end
-                if first_byte is None:
-                    first_byte = span.start
-                self.log.record(
-                    Transfer(
-                        f"{key}#part{parts + 1}",
-                        physical,
-                        span.start,
-                        span.end,
-                        "put",
-                        stream,
-                    )
-                )
-                if self.arbiter is not None and stream:
-                    self.arbiter.on_transfer(stream, physical, "put")
-                parts += 1
-            # The completion request publishes the object: one more
-            # PUT-class latency, control-plane only (no link bytes).
-            completed = max(lane_free) + cost.latency_s(self._rng)
-            backend.complete_multipart(upload_id)
-        except Exception:
-            backend.abort_multipart(upload_id)
-            raise
-        assert first_byte is not None
-        return OpReceipt(
-            op=OP_PUT,
-            key=key,
-            logical_bytes=len(data),
-            physical_bytes=len(data) * replication,
-            issued_s=issued,
-            start_s=started,
-            first_byte_s=first_byte,
-            completed_s=completed,
-            parts=parts,
+        return self.engine.stage_put(
+            key,
+            data,
+            overwrite=overwrite,
+            earliest=earliest,
             stream=stream,
         )
 
@@ -401,115 +295,18 @@ class ObjectStore:
         the failure that triggered it. ``byte_range`` narrows the read
         to ``[start, stop)``.
 
-        Against a backend that advertises ``range_get_bytes``, whole
-        reads larger than that window are issued as ranged sub-GETs
-        fanned out over the backend's request lanes — restores through
-        the S3-style backend read their chunks in ranged windows
-        automatically.
+        Delegates to the transfer engine: against a backend that
+        advertises ``range_get_bytes``, whole reads larger than that
+        window are issued as ranged sub-GETs fanned out over the
+        backend's request lanes, and transient failures are retried
+        with backoff.
         """
-        window = self.backend.range_get_bytes
-        known = self._sizes.get(key)
-        if (
-            byte_range is None
-            and window is not None
-            and known is not None
-            and known > window
-        ):
-            return self._get_ranged(key, known, window, earliest, stream)
-        cost = self.costs.for_op(OP_GET)
-        issued = max(self.clock.now, earliest or 0.0)
-        data = self.backend.get_object(
-            StorageRequest(OP_GET, key, stream=stream, byte_range=byte_range)
+        return self.engine.get(
+            key,
+            earliest=earliest,
+            stream=stream,
+            byte_range=byte_range,
         )
-        latency = cost.latency_s(self._rng)
-        duration = latency + cost.transfer_s(len(data))
-        span = self.timeline.submit(
-            duration, label=f"get:{key}", earliest=earliest
-        )
-        self.log.record(
-            Transfer(
-                key, len(data), span.start, span.end, "get", stream
-            )
-        )
-        if self.arbiter is not None and stream:
-            self.arbiter.on_transfer(stream, len(data), "get")
-        self.ops.record(
-            OpReceipt(
-                op=OP_GET,
-                key=key,
-                logical_bytes=len(data),
-                physical_bytes=len(data),
-                issued_s=issued,
-                start_s=span.start,
-                first_byte_s=min(span.start + latency, span.end),
-                completed_s=span.end,
-                stream=stream,
-            )
-        )
-        return data
-
-    def _get_ranged(
-        self,
-        key: str,
-        size: int,
-        window: int,
-        earliest: float | None,
-        stream: str,
-    ) -> bytes:
-        """Split one large GET into ranged sub-GETs over request lanes."""
-        cost = self.costs.for_op(OP_GET)
-        fanout = max(1, self.backend.fanout)
-        issued = max(self.clock.now, earliest or 0.0)
-        started = max(issued, self.timeline.free_at)
-        lane_free = [started] * fanout
-        first_byte: float | None = None
-        pieces: list[bytes] = []
-        for index, start in enumerate(range(0, size, window)):
-            stop = min(start + window, size)
-            chunk = self.backend.get_object(
-                StorageRequest(
-                    OP_GET, key, stream=stream, byte_range=(start, stop)
-                )
-            )
-            lane = index % fanout
-            latency = cost.latency_s(self._rng)
-            span = self.timeline.submit(
-                cost.transfer_s(len(chunk)),
-                label=f"get-range:{key}:{index}",
-                earliest=lane_free[lane] + latency,
-            )
-            lane_free[lane] = span.end
-            if first_byte is None:
-                first_byte = span.start
-            pieces.append(chunk)
-            self.log.record(
-                Transfer(
-                    f"{key}#range{index}",
-                    len(chunk),
-                    span.start,
-                    span.end,
-                    "get",
-                    stream,
-                )
-            )
-            if self.arbiter is not None and stream:
-                self.arbiter.on_transfer(stream, len(chunk), "get")
-        assert first_byte is not None
-        self.ops.record(
-            OpReceipt(
-                op=OP_GET,
-                key=key,
-                logical_bytes=size,
-                physical_bytes=size,
-                issued_s=issued,
-                start_s=started,
-                first_byte_s=first_byte,
-                completed_s=max(lane_free),
-                parts=len(pieces),
-                stream=stream,
-            )
-        )
-        return b"".join(pieces)
 
     def delete(
         self, key: str, stream: str = "", at_s: float | None = None
@@ -521,8 +318,9 @@ class ObjectStore:
         credits the freed physical bytes back to the job's quota.
         """
         physical = self._sizes.get(key, 0) * self.config.replication_factor
-        self.backend.delete_object(
-            StorageRequest(OP_DELETE, key, stream=stream)
+        request = StorageRequest(OP_DELETE, key, stream=stream)
+        _, retries, penalty, latency = self.engine.attempt_request(
+            OP_DELETE, lambda: self.backend.delete_object(request)
         )
         self._sizes.pop(key, None)
         if self.arbiter is not None and stream:
@@ -535,8 +333,9 @@ class ObjectStore:
             0,
             physical,
             when,
-            self.costs.for_op(OP_DELETE).duration_s(0, self._rng),
+            penalty + latency,
             stream,
+            retries=retries,
         )
 
     def delete_prefix(
@@ -556,31 +355,52 @@ class ObjectStore:
         )
         # One enumeration serves both the size bookkeeping and the
         # deletes (the backend's own delete_prefix would LIST again).
-        keys = self.backend.list_objects(
-            StorageRequest(OP_LIST, prefix, stream=stream)
+        list_request = StorageRequest(OP_LIST, prefix, stream=stream)
+        keys, list_retries, list_penalty, list_latency = (
+            self.engine.attempt_request(
+                OP_LIST, lambda: self.backend.list_objects(list_request)
+            )
         )
         freed_logical = 0
         for key in keys:
             freed_logical += self.object_size(key)
         freed_physical = freed_logical * self.config.replication_factor
+        deletions: list[tuple[str, int, float]] = []
         for key in keys:
-            self.backend.delete_object(
-                StorageRequest(OP_DELETE, key, stream=stream)
+            request = StorageRequest(OP_DELETE, key, stream=stream)
+            _, retries, penalty, latency = self.engine.attempt_request(
+                OP_DELETE, lambda: self.backend.delete_object(request)
             )
-        completed = issued + self.costs.for_op(OP_LIST).duration_s(
-            len(keys), self._rng
+            deletions.append((key, retries, penalty + latency))
+        completed = (
+            issued
+            + list_penalty
+            + list_latency
+            + self.costs.for_op(OP_LIST).transfer_s(len(keys))
         )
         self._record_op(
-            OP_LIST, prefix, len(keys), 0, issued, completed - issued, stream
+            OP_LIST,
+            prefix,
+            len(keys),
+            0,
+            issued,
+            completed - issued,
+            stream,
+            retries=list_retries,
         )
-        delete_cost = self.costs.for_op(OP_DELETE)
-        for key in keys:
+        for key, retries, duration in deletions:
             physical = (
                 self._sizes.pop(key, 0) * self.config.replication_factor
             )
-            duration = delete_cost.duration_s(0, self._rng)
             self._record_op(
-                OP_DELETE, key, 0, physical, completed, duration, stream
+                OP_DELETE,
+                key,
+                0,
+                physical,
+                completed,
+                duration,
+                stream,
+                retries=retries,
             )
             completed += duration
         if self.arbiter is not None and stream:
@@ -598,8 +418,9 @@ class ObjectStore:
 
     def exists(self, key: str, stream: str = "") -> bool:
         """HEAD probe: is the key present?"""
-        present = self.backend.head_object(
-            StorageRequest(OP_HEAD, key, stream=stream)
+        request = StorageRequest(OP_HEAD, key, stream=stream)
+        present, retries, penalty, latency = self.engine.attempt_request(
+            OP_HEAD, lambda: self.backend.head_object(request)
         )
         self._record_op(
             OP_HEAD,
@@ -607,15 +428,17 @@ class ObjectStore:
             0,
             0,
             self.clock.now,
-            self.costs.for_op(OP_HEAD).duration_s(0, self._rng),
+            penalty + latency,
             stream,
+            retries=retries,
         )
         return present
 
     def list_keys(self, prefix: str = "", stream: str = "") -> list[str]:
         """LIST request: all keys under a prefix, sorted."""
-        keys = self.backend.list_objects(
-            StorageRequest(OP_LIST, prefix, stream=stream)
+        request = StorageRequest(OP_LIST, prefix, stream=stream)
+        keys, retries, penalty, latency = self.engine.attempt_request(
+            OP_LIST, lambda: self.backend.list_objects(request)
         )
         self._record_op(
             OP_LIST,
@@ -623,8 +446,11 @@ class ObjectStore:
             len(keys),
             0,
             self.clock.now,
-            self.costs.for_op(OP_LIST).duration_s(len(keys), self._rng),
+            penalty
+            + latency
+            + self.costs.for_op(OP_LIST).transfer_s(len(keys)),
             stream,
+            retries=retries,
         )
         return keys
 
@@ -638,8 +464,14 @@ class ObjectStore:
         try:
             return self._sizes[key]
         except KeyError:
-            if self.backend.exists(key):
-                size = len(self.backend.read(key))
+            if self.engine.retry_probe(
+                OP_HEAD, lambda: self.backend.exists(key)
+            ):
+                size = len(
+                    self.engine.retry_probe(
+                        OP_GET, lambda: self.backend.read(key)
+                    )
+                )
                 self._sizes[key] = size
                 return size
             raise StorageError(f"no size recorded for {key!r}") from None

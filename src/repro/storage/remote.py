@@ -29,9 +29,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import BackendConfig
-from ..errors import StorageError
+from ..errors import StorageError, TransientStorageError
 from .backends import InMemoryBackend
-from .requests import OpCostModel, OpCostSuite
+from .requests import (
+    OP_CLASSES,
+    OP_PUT,
+    OpCostModel,
+    OpCostSuite,
+    StorageRequest,
+)
 
 #: Single source of the s3like latency defaults: the same values a
 #: default ``BackendConfig`` carries, so direct ``s3like_costs()``
@@ -101,6 +107,8 @@ class RemoteObjectBackend(InMemoryBackend):
         fanout: int = 4,
         range_get_bytes: int | None = None,
         seed: int = 0x53AC,
+        failure_probs: dict[str, float] | None = None,
+        failure_seed: int = 0xFA17,
     ) -> None:
         if part_size_bytes is not None and part_size_bytes < 1:
             raise StorageError("part_size_bytes must be positive")
@@ -115,6 +123,28 @@ class RemoteObjectBackend(InMemoryBackend):
         #: RNG for jitter/tail draws; owned here so runs stay
         #: deterministic under the backend's seed.
         self.rng = np.random.default_rng(seed)
+        #: Per-op-class transient-failure probability (throttle/5xx
+        #: style): each request of a class with probability p > 0 fails
+        #: with :class:`TransientStorageError` *before* touching data,
+        #: to be re-issued by the transfer engine's retry loop. Draws
+        #: come from a dedicated RNG so a fixed ``failure_seed`` makes
+        #: the injected sequence deterministic — and independent of the
+        #: jitter/tail draws above.
+        self.failure_probs: dict[str, float] = {}
+        for op, prob in (failure_probs or {}).items():
+            if op not in OP_CLASSES:
+                raise StorageError(
+                    f"unknown op class {op!r} in failure_probs"
+                )
+            if not 0.0 <= prob <= 1.0:
+                raise StorageError(
+                    f"failure probability for {op} must be in [0, 1]"
+                )
+            if prob > 0.0:
+                self.failure_probs[op] = prob
+        self._failure_rng = np.random.default_rng(failure_seed)
+        #: Injected-failure count per op class (for reports/tests).
+        self.failures_injected: dict[str, int] = {}
         #: upload id -> (key, {part_number: bytes}); parts are invisible
         #: until the upload completes.
         self._uploads: dict[str, tuple[str, dict[int, bytes]]] = {}
@@ -122,6 +152,39 @@ class RemoteObjectBackend(InMemoryBackend):
         #: Multipart bookkeeping (for reports/tests).
         self.multipart_completed = 0
         self.multipart_aborted = 0
+
+    # -- transient-failure injection -----------------------------------
+
+    def _maybe_fail(self, op: str, key: str) -> None:
+        """Roll the op class's failure die before serving a request."""
+        prob = self.failure_probs.get(op, 0.0)
+        if prob > 0.0 and float(self._failure_rng.random()) < prob:
+            self.failures_injected[op] = (
+                self.failures_injected.get(op, 0) + 1
+            )
+            raise TransientStorageError(
+                f"injected transient {op} failure on {key!r}"
+            )
+
+    def put_object(self, request: StorageRequest, data: bytes) -> None:
+        self._maybe_fail(request.op, request.key)
+        super().put_object(request, data)
+
+    def get_object(self, request: StorageRequest) -> bytes:
+        self._maybe_fail(request.op, request.key)
+        return super().get_object(request)
+
+    def head_object(self, request: StorageRequest) -> bool:
+        self._maybe_fail(request.op, request.key)
+        return super().head_object(request)
+
+    def delete_object(self, request: StorageRequest) -> None:
+        self._maybe_fail(request.op, request.key)
+        super().delete_object(request)
+
+    def list_objects(self, request: StorageRequest) -> list[str]:
+        self._maybe_fail(request.op, request.key)
+        return super().list_objects(request)
 
     # -- multipart control plane ---------------------------------------
 
@@ -138,12 +201,15 @@ class RemoteObjectBackend(InMemoryBackend):
         """Stage one part (1-based numbering, S3 style)."""
         if part_number < 1:
             raise StorageError(f"part numbers are 1-based: {part_number}")
-        _, parts = self._upload(upload_id)
+        key, parts = self._upload(upload_id)
+        # Part uploads are PUT-class requests and fail like them.
+        self._maybe_fail(OP_PUT, f"{key}#part{part_number}")
         parts[part_number] = bytes(data)
 
     def complete_multipart(self, upload_id: str) -> None:
         """Assemble the staged parts into the visible object."""
         key, parts = self._upload(upload_id)
+        self._maybe_fail(OP_PUT, f"{key}#complete")
         if not parts:
             raise StorageError(f"upload {upload_id!r} has no parts")
         assembled = b"".join(

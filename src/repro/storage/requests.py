@@ -287,3 +287,20 @@ class OpLog:
         for r in self._receipts:
             counts[r.op] = counts.get(r.op, 0) + 1
         return counts
+
+    def total_retries(self, op: str | None = None) -> int:
+        """Transient-failure retries summed over matching receipts."""
+        return sum(r.retries for r in self.receipts(op))
+
+    def retry_amplification(self, op: str | None = None) -> float:
+        """Mean requests issued per successful operation.
+
+        1.0 means no request was ever re-issued; an op class with
+        failure probability *p* converges to 1 / (1 - p). The retry
+        tax the engine pays the backend under transient failures.
+        """
+        receipts = self.receipts(op)
+        if not receipts:
+            return 1.0
+        attempts = sum(1 + r.retries for r in receipts)
+        return attempts / len(receipts)

@@ -226,7 +226,22 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--seed", type=int, default=0xF1EE7)
     fleet.add_argument(
         "--max-concurrent-writes", type=int, default=None,
-        help="admission control: cap on simultaneous checkpoint writes",
+        help="deprecated: fixed cap on simultaneous checkpoint writes "
+        "(maps to --admission static); prefer --admission dynamic",
+    )
+    fleet.add_argument(
+        "--admission", choices=["none", "static", "dynamic"],
+        default=None,
+        help="admission-control mode for checkpoint triggers: 'static' "
+        "caps concurrent writes (needs --max-concurrent-writes), "
+        "'dynamic' defers experimental triggers when the link's "
+        "projected queue delay exceeds one checkpoint interval "
+        "(prod always admitted)",
+    )
+    fleet.add_argument(
+        "--admission-backlog-factor", type=float, default=1.0,
+        help="dynamic admission threshold, in checkpoint intervals of "
+        "projected backlog",
     )
     fleet.add_argument(
         "--quota-bytes", type=int, default=None,
@@ -286,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="split s3like GETs above this size into ranged sub-GETs",
     )
     fleet.add_argument(
+        "--failure-prob", type=float, default=0.0, metavar="P",
+        help="s3like transient-failure injection: each PUT/GET request "
+        "fails with this probability and is retried by the transfer "
+        "engine (deterministic under the seed)",
+    )
+    fleet.add_argument(
+        "--write-bandwidth", type=float, default=None, metavar="B/S",
+        help="shared-link write bandwidth in bytes/sec (default 1 GiB/s)",
+    )
+    fleet.add_argument(
+        "--read-bandwidth", type=float, default=None, metavar="B/S",
+        help="shared-link read bandwidth in bytes/sec (default 2 GiB/s)",
+    )
+    fleet.add_argument(
         "--out", default="benchmarks/results",
         help="directory for fleet_aggregate.txt",
     )
@@ -317,6 +346,24 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         run_fleet,
     )
 
+    if args.max_concurrent_writes is not None and args.admission is None:
+        print(
+            "warning: --max-concurrent-writes is deprecated; it now "
+            "maps to the transfer engine's static admission mode "
+            "(--admission static). Consider --admission dynamic.",
+            file=sys.stderr,
+        )
+    if args.failure_prob > 0.0 and args.backend != "s3like":
+        print(
+            "warning: --failure-prob only injects on --backend s3like; "
+            "ignoring it",
+            file=sys.stderr,
+        )
+    storage_kwargs: dict = {}
+    if args.write_bandwidth is not None:
+        storage_kwargs["write_bandwidth"] = args.write_bandwidth
+    if args.read_bandwidth is not None:
+        storage_kwargs["read_bandwidth"] = args.read_bandwidth
     storage = StorageConfig(
         backend=BackendConfig(
             kind=args.backend,
@@ -325,13 +372,18 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             put_latency_s=args.put_latency,
             get_latency_s=args.get_latency,
             range_get_bytes=args.range_get,
-        )
+            put_failure_prob=args.failure_prob,
+            get_failure_prob=args.failure_prob,
+        ),
+        **storage_kwargs,
     )
     config = FleetConfig(
         num_jobs=args.jobs,
         intervals_per_job=args.intervals,
         seed=args.seed,
         max_concurrent_writes=args.max_concurrent_writes,
+        admission_mode=args.admission,
+        admission_backlog_factor=args.admission_backlog_factor,
         per_job_quota_bytes=args.quota_bytes,
         inject_failures=not args.no_failures,
         priority_mix=args.priority_mix,
@@ -354,6 +406,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         variant += f", backend {args.backend}"
         if args.part_size is not None:
             variant += f" (part {args.part_size} B x{args.part_fanout})"
+    if config.resolved_admission_mode != "none":
+        variant += f", admission {config.resolved_admission_mode}"
+    if args.failure_prob > 0.0 and args.backend == "s3like":
+        variant += f", failure prob {args.failure_prob:g}"
     body = "\n".join(
         [
             f"== Fleet run: {args.jobs} jobs x {args.intervals} "
