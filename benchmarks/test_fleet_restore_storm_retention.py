@@ -1,0 +1,152 @@
+"""Storm read traffic: chain-depth vs storm-aware retention.
+
+A correlated rack failure makes every job on the rack re-read its
+restore chain through the shared link at once. Chain-depth retention
+(the default) lets a ``consecutive``-policy job owe that storm a
+full-plus-N-increment re-read; storm-aware retention bounds the chain
+at ``storm_chain_limit`` links by forcing baseline refreshes, trading a
+little extra write traffic for a hard cap on per-job storm read bytes.
+
+This bench runs the *same* rack-failure storm twice — identical seeds,
+identical job sampling, only the retention mode differs — and measures
+the storm read-byte reduction. It also exercises read-side admission:
+in both runs experimental restores are paced on the projected backlog
+(nonzero ``rdefer``) while prod restores start immediately (zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config import FailureConfig, FleetConfig, MiB, StorageConfig
+from repro.fleet import (
+    TIER_EXPERIMENTAL,
+    TIER_PROD,
+    format_storm_report,
+    run_fleet,
+    summarize_tiers,
+)
+
+TITLE = (
+    "Restore storm read traffic - chain-depth vs storm-aware retention"
+)
+
+
+def storm_fleet_config() -> FleetConfig:
+    """A consecutive-policy fleet (longest chains) facing a rack storm."""
+    return FleetConfig(
+        num_jobs=8,
+        intervals_per_job=8,
+        seed=0xC4A1,
+        rows_per_table_choices=(2048,),
+        num_tables_choices=(2,),
+        # Long intervals: every write lands well before the next
+        # trigger, so chains build from *landed* checkpoints instead of
+        # skip-on-overlap and the storm fires on restorable jobs.
+        interval_batches_choices=(24,),
+        # Consecutive increments chain all the way back to the last
+        # full checkpoint - the policy storm-aware retention exists for.
+        policy_choices=("consecutive",),
+        policy_weights=(1.0,),
+        quantizer_choices=("float16",),
+        bit_width_choices=(8,),
+        keep_last=2,
+        stagger_s=5.0,
+        storage=StorageConfig(
+            write_bandwidth=1.5 * MiB,
+            read_bandwidth=3.0 * MiB,
+            replication_factor=2,
+            latency_s=0.002,
+        ),
+        failures=FailureConfig(min_failure_s=0.0),
+        inject_failures=False,  # the storm is the only failure event
+        priority_mix=0.375,  # 3 of 8 jobs run as prod
+        storm_domain="rack",
+        rack_size=4,
+        storm_at_fraction=0.6,  # let chains build up first
+        # Write preemption off: on this slow link synchronized prod
+        # writers would keep experimental checkpoints from ever
+        # landing, and the storm could only force-fire onto scratch
+        # restarts — this bench isolates the *read* path.
+        preempt_staged_writes=False,
+        # Read-side admission: pace experimental restores hard enough
+        # that the storm's prod drain visibly defers them.
+        restore_admission="dynamic",
+        restore_backlog_factor=0.05,
+    )
+
+
+def total_storm_read_bytes(scheduler) -> int:
+    """GET bytes moved at or after the storm fired (chain re-reads)."""
+    fired = scheduler.storm_fired_at_s
+    assert fired is not None
+    return sum(
+        t.nbytes
+        for t in scheduler.store.log.transfers("get")
+        if t.end_s >= fired
+    )
+
+
+def test_restore_storm_retention(benchmark, report):
+    chain_depth = storm_fleet_config()
+    storm_aware = replace(
+        chain_depth, retention_mode="storm_aware", storm_chain_limit=2
+    )
+
+    (sched_depth, run_depth), (sched_aware, run_aware) = (
+        benchmark.pedantic(
+            lambda: (run_fleet(chain_depth), run_fleet(storm_aware)),
+            rounds=1,
+            iterations=1,
+        )
+    )
+
+    # The same storm fired in both runs: same domain, same victims.
+    assert run_depth.storm is not None and run_aware.storm is not None
+    assert run_depth.storm[0] == run_aware.storm[0] == "rack"
+    assert run_depth.storm[3] == run_aware.storm[3]
+
+    depth_bytes = total_storm_read_bytes(sched_depth)
+    aware_bytes = total_storm_read_bytes(sched_aware)
+    reduction = depth_bytes / aware_bytes if aware_bytes else float("inf")
+
+    report.row("same rack-failure storm, two retention modes:")
+    report.row("")
+    report.row(
+        "retention     storm_read_KiB  baseline_refreshes  write_KiB"
+    )
+    report.row("-" * 58)
+    for label, run, nbytes in (
+        ("chain_depth", run_depth, depth_bytes),
+        ("storm_aware", run_aware, aware_bytes),
+    ):
+        report.row(
+            f"{label:<13s} {nbytes / 1024:>14.1f}"
+            f"  {run.baseline_refreshes:>18d}"
+            f"  {run.total_put_bytes_logical / 1024:>9.1f}"
+        )
+    report.row("")
+    report.row(
+        f"storm read-byte reduction: {reduction:.2f}x "
+        f"(chain bound = {storm_aware.storm_chain_limit})"
+    )
+
+    # Storm-aware retention must actually cut the storm's read traffic
+    # under the identical failure, by bounding every job's chain.
+    assert run_aware.baseline_refreshes > 0
+    assert run_depth.baseline_refreshes == 0
+    assert aware_bytes < depth_bytes
+
+    # Read-side admission in the same runs: experimental restores were
+    # paced (nonzero deferrals), prod restores never are.
+    for run in (run_depth, run_aware):
+        tiers = {t.tier: t for t in summarize_tiers(run)}
+        assert tiers[TIER_PROD].restore_deferred == 0
+        assert tiers[TIER_EXPERIMENTAL].restore_deferred > 0
+
+    report.row("")
+    report.row("== chain-depth retention, per-tier storm table ==")
+    report.row(format_storm_report(run_depth))
+    report.row("")
+    report.row("== storm-aware retention, per-tier storm table ==")
+    report.row(format_storm_report(run_aware))

@@ -353,6 +353,12 @@ class CheckpointConfig:
     ratio: float = 1.0
     chunk_rows: int = 65536
     keep_last: int = 2
+    #: Storm-aware retention: bound on the newest checkpoint's restore
+    #: chain length. When the chain reaches the bound, the controller
+    #: refreshes the baseline (takes a full) instead of extending it —
+    #: a restore storm then never re-reads more than this many
+    #: checkpoints per job. None = unbounded (chain-depth retention).
+    max_chain_length: int | None = None
     expected_restores: int = 1
     quantize_optimizer_state: bool = True
     track_in_forward_pass: bool = True
@@ -380,6 +386,11 @@ class CheckpointConfig:
         _require(0.0 < self.ratio <= 1.0, "ratio must be in (0, 1]")
         _require(self.chunk_rows >= 1, "chunk_rows must be >= 1")
         _require(self.keep_last >= 1, "must retain at least one checkpoint")
+        if self.max_chain_length is not None:
+            _require(
+                self.max_chain_length >= 1,
+                "max_chain_length must be >= 1",
+            )
         _require(self.expected_restores >= 0, "expected_restores must be >= 0")
 
 
@@ -474,6 +485,16 @@ class FleetConfig:
     admission_mode: str | None = None
     #: Dynamic admission threshold, in checkpoint intervals of backlog.
     admission_backlog_factor: float = 1.0
+    #: Read-side admission mode for restores on the shared store:
+    #: ``"none"`` (every restore starts immediately) or ``"dynamic"``
+    #: (an experimental job's restore is *paced* — its start deferred
+    #: until the link's projected restore delay, write backlog plus
+    #: queued read parts, falls to ``restore_backlog_factor`` x the
+    #: job's checkpoint interval; prod restores always start at once,
+    #: preserving the storm's prod-first drain).
+    restore_admission: str = "none"
+    #: Read-side pacing threshold, in checkpoint intervals of backlog.
+    restore_backlog_factor: float = 1.0
     #: Per-job live physical-byte quota on the shared store.
     per_job_quota_bytes: int | None = None
 
@@ -498,6 +519,17 @@ class FleetConfig:
     #: Fleet progress fraction (completed intervals / target) at which
     #: the armed storm fires.
     storm_at_fraction: float = 0.5
+    #: Retention flavour for the fleet's jobs: ``"chain_depth"`` (keep
+    #: the newest ``keep_last`` checkpoints and whatever their chains
+    #: reference — chains grow as long as the policy lets them) or
+    #: ``"storm_aware"`` (additionally bound every job's restore chain
+    #: at ``storm_chain_limit`` by forcing baseline refreshes, so a
+    #: correlated storm re-reads short chains). Storm-aware retention
+    #: requires an armed ``storm_domain`` — it trades write traffic for
+    #: storm read traffic, which only pays off in a storm-prone fleet.
+    retention_mode: str = "chain_depth"
+    #: Restore-chain length bound under storm-aware retention.
+    storm_chain_limit: int = 2
 
     storage: StorageConfig = field(default_factory=StorageConfig)
     failures: FailureConfig = field(default_factory=FailureConfig)
@@ -577,6 +609,15 @@ class FleetConfig:
             self.admission_backlog_factor > 0,
             "admission_backlog_factor must be > 0",
         )
+        _require(
+            self.restore_admission in ("none", "dynamic"),
+            f"unknown restore_admission {self.restore_admission!r}; "
+            "valid: 'none', 'dynamic'",
+        )
+        _require(
+            self.restore_backlog_factor > 0,
+            "restore_backlog_factor must be > 0",
+        )
         if self.per_job_quota_bytes is not None:
             _require(
                 self.per_job_quota_bytes > 0,
@@ -601,6 +642,20 @@ class FleetConfig:
         _require(
             0.0 < self.storm_at_fraction < 1.0,
             "storm_at_fraction must be in (0, 1)",
+        )
+        _require(
+            self.retention_mode in ("chain_depth", "storm_aware"),
+            f"unknown retention_mode {self.retention_mode!r}; valid: "
+            "'chain_depth', 'storm_aware'",
+        )
+        if self.retention_mode == "storm_aware":
+            _require(
+                self.storm_domain is not None,
+                "storm_aware retention needs an armed storm_domain "
+                "(it trades write traffic for storm read traffic)",
+            )
+        _require(
+            self.storm_chain_limit >= 1, "storm_chain_limit must be >= 1"
         )
 
     @property

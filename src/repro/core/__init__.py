@@ -12,6 +12,8 @@ from .controller import (
     CheckNRun,
     CheckpointEvent,
     ControllerStats,
+    PendingCheckpoint,
+    PendingRestore,
 )
 from .coordination import ReaderCoordinator
 from .manifest import (
@@ -36,7 +38,7 @@ from .predictor import (
     make_predictor,
 )
 from .publisher import OnlinePublisher, PublishEvent, PublisherStats
-from .restore import CheckpointRestorer, RestoreReport
+from .restore import CheckpointRestorer, ReadStep, RestoreReport
 from .retention import RetentionManager, RetentionReport
 from .snapshot import ModelSnapshot, ShardSnapshot, SnapshotManager
 from .tracker import ModifiedRowTracker, TrackerSet
@@ -66,10 +68,13 @@ __all__ = [
     "ModifiedRowTracker",
     "OneShotPolicy",
     "OnlinePublisher",
+    "PendingCheckpoint",
+    "PendingRestore",
     "PublishEvent",
     "PublisherStats",
     "PolicyState",
     "ReaderCoordinator",
+    "ReadStep",
     "RestoreReport",
     "RetentionManager",
     "RetentionReport",

@@ -32,7 +32,7 @@ from .bitwidth import BitWidthController
 from .coordination import ReaderCoordinator
 from .manifest import KIND_FULL, CheckpointManifest
 from .policies import PolicyState, make_policy
-from .restore import CheckpointRestorer, RestoreReport
+from .restore import CheckpointRestorer, ReadStep, RestoreReport
 from .retention import RetentionManager
 from .snapshot import ModelSnapshot, SnapshotManager
 from .tracker import TrackerSet
@@ -96,6 +96,45 @@ class PendingCheckpoint:
 
 
 @dataclass
+class PendingRestore:
+    """A staged restore whose GETs have not all been submitted.
+
+    Produced by :meth:`CheckNRun.begin_restore` — the read-side mirror
+    of :class:`PendingCheckpoint`. ``next_step`` announces the upcoming
+    GET part (and its earliest start time) before it is submitted; the
+    fleet scheduler interleaves :meth:`advance` calls from every job
+    recovering in the same restore storm, so the shared link drains the
+    storm part by part in arbiter order. The single-job
+    :meth:`CheckNRun.restore_latest` drains it immediately.
+    """
+
+    checkpoint_id: str
+    target: CheckpointManifest
+    steps: object  # generator of ReadStep
+    next_step: ReadStep | None = None
+    report: RestoreReport | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.report is not None
+
+    def advance(self) -> ReadStep | None:
+        """Submit the announced GET part and announce the next one.
+
+        Returns the new pending step, or ``None`` once the last read
+        landed and the restore report is available.
+        """
+        if self.done:
+            return None
+        try:
+            self.next_step = next(self.steps)  # type: ignore[call-overload]
+        except StopIteration as stop:
+            self.report = stop.value
+            self.next_step = None
+        return self.next_step
+
+
+@dataclass
 class ControllerStats:
     """Aggregate controller statistics for one run."""
 
@@ -106,6 +145,11 @@ class ControllerStats:
     bytes_written_logical: int = 0
     bytes_written_physical: int = 0
     events: list[CheckpointEvent] = field(default_factory=list)
+    #: Checkpoint ids each retention pass scrubbed, in deletion order —
+    #: the determinism tests compare this sequence across seeded runs.
+    retention_deleted: list[str] = field(default_factory=list)
+    #: Checkpoints forced full by storm-aware retention's chain bound.
+    baseline_refreshes: int = 0
 
 
 class CheckNRun:
@@ -143,7 +187,11 @@ class CheckNRun:
         self.snapshot_manager = SnapshotManager(trainer, clock)
         self.writer = CheckpointWriter(store, clock, latency_model)
         self.restorer = CheckpointRestorer(store, clock)
-        self.retention = RetentionManager(store, config.keep_last)
+        self.retention = RetentionManager(
+            store,
+            config.keep_last,
+            max_chain_length=config.max_chain_length,
+        )
         self.bitwidth = BitWidthController(config.expected_restores)
 
         self.manifests: dict[str, CheckpointManifest] = {}
@@ -390,15 +438,23 @@ class CheckNRun:
             # Nothing to increment on (first checkpoint, or baseline
             # cancelled): force a full one.
             decision = KIND_FULL
+        if decision != KIND_FULL:
+            base_id = self._prospective_base_id()
+            if self.retention.wants_baseline_refresh(
+                self.manifests, self.policy, base_id
+            ):
+                # Storm-aware retention: one more increment would push
+                # the restore chain past its bound — refresh the
+                # baseline so a restore storm never re-reads a chain
+                # longer than max_chain_length through the link.
+                decision = KIND_FULL
+                self.stats.baseline_refreshes += 1
 
         checkpoint_id = f"ckpt-{self._checkpoint_counter:06d}"
         self._checkpoint_counter += 1
-        if decision == KIND_FULL:
-            base_id = None
-        elif self.policy.name == "consecutive":
-            base_id = self._last_checkpoint_id()
-        else:
-            base_id = self._current_base_id
+        base_id = (
+            None if decision == KIND_FULL else self._prospective_base_id()
+        )
 
         quantizer = self._build_quantizer()
         # The fp32 baseline stays fp32 throughout: quantizing only the
@@ -467,9 +523,10 @@ class CheckNRun:
         # Retention: the just-written checkpoint is still in flight at
         # this point, so validity-aware enforcement keeps the newest
         # valid one(s) until the new write completes.
-        self.retention.enforce(
+        retention = self.retention.enforce(
             self.manifests, self.policy, self.job_id, now_s=self.clock.now
         )
+        self.stats.retention_deleted.extend(retention.deleted_ids)
 
         self.stats.checkpoints_written += 1
         self.stats.bytes_written_logical += report.logical_bytes
@@ -509,6 +566,14 @@ class CheckNRun:
             key=lambda m: (m.interval_index, m.valid_at_s),
         )
         return latest.checkpoint_id
+
+    def _prospective_base_id(self) -> str | None:
+        """The checkpoint the next *incremental* write would chain on:
+        the previous checkpoint for consecutive policies (chains grow),
+        the standing baseline otherwise (chains stay two links)."""
+        if self.policy.name == "consecutive":
+            return self._last_checkpoint_id()
+        return self._current_base_id
 
     # ------------------------------------------------------------------
     # Restore
@@ -551,28 +616,54 @@ class CheckNRun:
         if ordered:
             self.interval_index = ordered[-1].interval_index + 1
 
-    def restore_latest(
+    def begin_restore(
         self, at_time_s: float | None = None
-    ) -> RestoreReport:
-        """Recover from the newest checkpoint valid at ``at_time``.
+    ) -> PendingRestore:
+        """Stage a restore of the newest checkpoint valid at ``at_time``.
 
-        Rebuilds tracker state: for one-shot/intermittent policies the
-        target increment's rows *are* the modified-since-baseline set,
-        so they are re-marked; for full/consecutive the trackers start
-        a fresh interval empty.
+        Returns a primed :class:`PendingRestore` whose first GET part
+        is announced and awaiting submission. Callers drain it with
+        :meth:`PendingRestore.advance` and then call
+        :meth:`finish_restore` — the fleet scheduler interleaves
+        advances from every job recovering in the same storm. Raises
+        :class:`CheckpointNotFoundError` when nothing is restorable.
         """
         target = self.restorer.latest_valid(self.job_id, at_time_s)
         if target is None:
             raise CheckpointNotFoundError(
                 f"job {self.job_id!r} has no valid checkpoint to restore"
             )
-        report = self.restorer.restore(
+        steps = self.restorer.restore_steps(
             self.trainer.model,
             target,
             self.manifests,
             reader=self.reader,
             policy=self.policy,
         )
+        pending = PendingRestore(
+            checkpoint_id=target.checkpoint_id,
+            target=target,
+            steps=steps,
+        )
+        pending.advance()  # prime: resolve the chain, announce part 1
+        return pending
+
+    def finish_restore(self, pending: PendingRestore) -> RestoreReport:
+        """Book-keep a drained staged restore: trackers, interval, stats.
+
+        Rebuilds tracker state: for one-shot/intermittent policies the
+        target increment's rows *are* the modified-since-baseline set,
+        so they are re-marked; for full/consecutive the trackers start
+        a fresh interval empty.
+        """
+        if not pending.done:
+            raise CheckpointError(
+                f"restore of {pending.checkpoint_id!r} still has "
+                "unsubmitted reads"
+            )
+        report = pending.report
+        target = pending.target
+        assert report is not None
         self.tracker_set.reset_all()
         if not self.policy.reset_tracker_after(target.kind):
             # Tracker accumulates since the baseline: re-mark the rows
@@ -586,6 +677,20 @@ class CheckNRun:
             self.bitwidth.record_restore()
         self.stats.restores += 1
         return report
+
+    def restore_latest(
+        self, at_time_s: float | None = None
+    ) -> RestoreReport:
+        """Recover from the newest checkpoint valid at ``at_time``.
+
+        Stages the restore and drains it immediately (reads
+        back-to-back) — the single-job path, timing-identical to
+        staging the same restore without interleaved traffic.
+        """
+        pending = self.begin_restore(at_time_s)
+        while pending.advance() is not None:
+            pass
+        return self.finish_restore(pending)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -6,6 +6,16 @@ baseline first; a consecutive increment needs the entire chain back to
 the last full checkpoint, applied oldest-first so later increments
 overwrite earlier rows.
 
+Reads are *staged*, mirroring the write side: the restore walks its
+chain as a generator (:meth:`CheckpointRestorer.restore_steps`) that
+announces a :class:`ReadStep` before every GET part — against a
+backend with ranged GETs, one step per ranged *part* — and submits it
+when resumed. The single-caller :meth:`CheckpointRestorer.restore`
+drains the generator immediately (timing-identical to the old
+whole-chunk reads); the fleet scheduler instead interleaves steps from
+every job recovering in a restore storm, so the shared link drains the
+storm at part granularity in bandwidth-arbiter order.
+
 Every chunk is CRC-verified by the frame reader; corruption surfaces as
 :class:`CheckpointCorruptError` rather than silently wrong weights.
 """
@@ -36,6 +46,37 @@ from .manifest import (
     manifest_key,
 )
 from .policies import CheckpointPolicy, FullPolicy
+
+
+def _drain(steps):
+    """Run a staged-read generator to completion, returning its value."""
+    while True:
+        try:
+            next(steps)
+        except StopIteration as stop:
+            return stop.value
+
+
+@dataclass(frozen=True)
+class ReadStep:
+    """One pending GET submission of a staged restore.
+
+    The staged restorer (see :meth:`CheckpointRestorer.restore_steps`)
+    yields a ``ReadStep`` *before* each GET request. Against a backend
+    with ranged GETs one chunk yields one step per ranged *part*
+    (``part_index`` of ``num_parts``); elsewhere a step is a whole
+    object. ``ready_s`` is the earliest simulated time the read could
+    start (the recovering job's clock at restore begin); the fleet
+    scheduler uses it to interleave restore parts from every job
+    crashed in the same storm. Resuming the generator performs the
+    submission — the read-side mirror of
+    :class:`~repro.core.writer.WriteStep`.
+    """
+
+    key: str
+    ready_s: float
+    part_index: int = 1
+    num_parts: int = 1
 
 
 @dataclass
@@ -128,64 +169,121 @@ class CheckpointRestorer:
             return dequantize_tensor(obj).reshape(-1)
         return obj.reshape(-1)
 
-    def _apply_manifest(
-        self, model: DLRM, manifest: CheckpointManifest
-    ) -> tuple[int, int, int, dict[int, list[np.ndarray]]]:
-        """Load one manifest's chunks into the model.
+    def _staged_read(self, key: str):
+        """Generator: announce each GET part of ``key``, then submit it.
 
-        Returns (bytes_read, chunks_read, rows_restored, rows_by_table).
+        Yields a :class:`ReadStep` *before* every part request —
+        resuming performs the submission, the same protocol the staged
+        writer uses — and returns ``(bytes, completed_s)`` where
+        ``completed_s`` is the read's receipt completion time.
+        """
+        staged = self.store.stage_get(key)
+        while not staged.done:
+            yield ReadStep(
+                key=key,
+                ready_s=staged.next_ready_s,
+                part_index=staged.next_part_number,
+                num_parts=staged.num_parts,
+            )
+            staged.submit_next()
+        receipt = staged.receipt
+        assert receipt is not None
+        return staged.data(), receipt.completed_s
+
+    def _decode_chunk(
+        self,
+        model: DLRM,
+        table_id: int,
+        chunk,
+        blob: bytes,
+    ) -> np.ndarray:
+        """CRC-verify and load one chunk payload; returns its row ids."""
+        try:
+            meta, frames = decode_frames(blob)
+        except SerializationError as exc:
+            raise CheckpointCorruptError(
+                f"chunk {chunk.key} failed verification: {exc}"
+            ) from exc
+        if len(frames) != 3:
+            raise CheckpointCorruptError(
+                f"chunk {chunk.key} has {len(frames)} frames, "
+                "expected rows/weights/accumulator"
+            )
+        rows = decode_array(frames[0].payload).astype(np.int64)
+        if rows.size == 0 and int(meta.get("row_base", -1)) >= 0:
+            # Full-checkpoint chunk: contiguous range, ids
+            # reconstructed from (row_base, row_count).
+            rows = np.arange(
+                int(meta["row_base"]),
+                int(meta["row_base"]) + int(meta["row_count"]),
+                dtype=np.int64,
+            )
+        weights = self._decode_weights(frames[1].payload)
+        accum = self._decode_accumulator(frames[2].payload)
+        if rows.shape[0] != chunk.row_count:
+            raise CheckpointCorruptError(
+                f"chunk {chunk.key} declares {chunk.row_count} "
+                f"rows, payload holds {rows.shape[0]}"
+            )
+        model.load_table_rows(table_id, rows, weights, accum)
+        return rows
+
+    def _apply_manifest_steps(
+        self, model: DLRM, manifest: CheckpointManifest
+    ):
+        """Generator: load one manifest's chunks through staged reads.
+
+        Returns (bytes_read, chunks_read, rows_restored, rows_by_table,
+        last_completed_s).
         """
         bytes_read = 0
         chunks_read = 0
         rows_restored = 0
+        last_completed = self.clock.now
         rows_by_table: dict[int, list[np.ndarray]] = {}
         for shard_record in manifest.shards:
             for chunk in shard_record.chunks:
-                blob = self.store.get(chunk.key)
+                blob, completed = yield from self._staged_read(chunk.key)
                 bytes_read += len(blob)
-                try:
-                    meta, frames = decode_frames(blob)
-                except SerializationError as exc:
-                    raise CheckpointCorruptError(
-                        f"chunk {chunk.key} failed verification: {exc}"
-                    ) from exc
-                if len(frames) != 3:
-                    raise CheckpointCorruptError(
-                        f"chunk {chunk.key} has {len(frames)} frames, "
-                        "expected rows/weights/accumulator"
-                    )
-                rows = decode_array(frames[0].payload).astype(np.int64)
-                if rows.size == 0 and int(meta.get("row_base", -1)) >= 0:
-                    # Full-checkpoint chunk: contiguous range, ids
-                    # reconstructed from (row_base, row_count).
-                    rows = np.arange(
-                        int(meta["row_base"]),
-                        int(meta["row_base"]) + int(meta["row_count"]),
-                        dtype=np.int64,
-                    )
-                weights = self._decode_weights(frames[1].payload)
-                accum = self._decode_accumulator(frames[2].payload)
-                if rows.shape[0] != chunk.row_count:
-                    raise CheckpointCorruptError(
-                        f"chunk {chunk.key} declares {chunk.row_count} "
-                        f"rows, payload holds {rows.shape[0]}"
-                    )
-                model.load_table_rows(
-                    shard_record.table_id, rows, weights, accum
+                last_completed = max(last_completed, completed)
+                rows = self._decode_chunk(
+                    model, shard_record.table_id, chunk, blob
                 )
                 rows_by_table.setdefault(
                     shard_record.table_id, []
                 ).append(rows)
                 chunks_read += 1
                 rows_restored += int(rows.shape[0])
-        return bytes_read, chunks_read, rows_restored, rows_by_table
+        return (
+            bytes_read,
+            chunks_read,
+            rows_restored,
+            rows_by_table,
+            last_completed,
+        )
 
-    def _apply_dense(self, model: DLRM, manifest: CheckpointManifest):
+    def _apply_manifest(
+        self, model: DLRM, manifest: CheckpointManifest
+    ) -> tuple[int, int, int, dict[int, list[np.ndarray]]]:
+        """Load one manifest's chunks into the model (immediate drain).
+
+        Returns (bytes_read, chunks_read, rows_restored, rows_by_table).
+        """
+        b, c, r, rows_by_table, _ = _drain(
+            self._apply_manifest_steps(model, manifest)
+        )
+        return b, c, r, rows_by_table
+
+    def _apply_dense_steps(self, model: DLRM, manifest: CheckpointManifest):
+        """Generator: load the dense state through a staged read.
+
+        Returns (bytes_read, completed_s).
+        """
         if manifest.dense_key is None:
             raise CheckpointCorruptError(
                 f"checkpoint {manifest.checkpoint_id} has no dense state"
             )
-        blob = self.store.get(manifest.dense_key)
+        blob, completed = yield from self._staged_read(manifest.dense_key)
         try:
             _, frames = decode_frames(blob)
             state: dict[str, np.ndarray] = {}
@@ -198,7 +296,74 @@ class CheckpointRestorer:
                 f"{exc}"
             ) from exc
         model.load_dense_state(state)
-        return len(blob)
+        return len(blob), completed
+
+    def _apply_dense(self, model: DLRM, manifest: CheckpointManifest):
+        blob_len, _ = _drain(self._apply_dense_steps(model, manifest))
+        return blob_len
+
+    def restore_steps(
+        self,
+        model: DLRM,
+        target: CheckpointManifest,
+        manifests: dict[str, CheckpointManifest],
+        reader: ReaderMaster | None = None,
+        policy: CheckpointPolicy | None = None,
+    ):
+        """Generator: restore ``target`` through staged, announced reads.
+
+        Yields a :class:`ReadStep` before every GET part of the chain
+        (oldest link first, chunk by chunk, dense state last); resuming
+        the generator submits the announced part. Returns the
+        :class:`RestoreReport` via ``StopIteration.value``, with
+        ``finished_at_s`` taken from the restore's *own* receipt
+        completion times — correct even when other jobs' transfers land
+        on the shared link between this restore's parts.
+        """
+        chain_policy = policy or FullPolicy()
+        chain = chain_policy.restore_chain(target, manifests)
+        started = self.clock.now
+        bytes_read = 0
+        chunks_read = 0
+        rows_restored = 0
+        finished = started
+        target_rows: dict[int, np.ndarray] = {}
+        for manifest in chain:  # oldest first: increments overwrite base
+            b, c, r, rows_by_table, completed = yield from (
+                self._apply_manifest_steps(model, manifest)
+            )
+            bytes_read += b
+            chunks_read += c
+            rows_restored += r
+            finished = max(finished, completed)
+            if manifest.checkpoint_id == target.checkpoint_id:
+                target_rows = {
+                    table_id: np.unique(np.concatenate(parts))
+                    for table_id, parts in rows_by_table.items()
+                }
+        # Dense state: only the target's copy matters (stored whole).
+        dense_bytes, dense_completed = yield from self._apply_dense_steps(
+            model, target
+        )
+        bytes_read += dense_bytes
+        finished = max(finished, dense_completed)
+
+        progress = target.trainer_progress
+        model.batches_trained = int(progress.get("batches_trained", 0))
+        model.samples_trained = int(progress.get("samples_trained", 0))
+        if reader is not None:
+            reader.restore(ReaderState.from_dict(target.reader_state))
+
+        return RestoreReport(
+            checkpoint_id=target.checkpoint_id,
+            chain_ids=[m.checkpoint_id for m in chain],
+            bytes_read=bytes_read,
+            chunks_read=chunks_read,
+            rows_restored=rows_restored,
+            started_at_s=started,
+            finished_at_s=max(finished, self.clock.now),
+            target_rows_by_table=target_rows,
+        )
 
     def restore(
         self,
@@ -212,44 +377,14 @@ class CheckpointRestorer:
 
         ``manifests`` must contain every checkpoint the chain needs;
         ``policy`` defaults to chain resolution via base-id links, which
-        is correct for all shipped policies.
+        is correct for all shipped policies. Drains the staged-read
+        generator immediately — timing-identical to uninterrupted
+        whole-chain reads.
         """
-        chain_policy = policy or FullPolicy()
-        chain = chain_policy.restore_chain(target, manifests)
-        started = self.clock.now
-        bytes_read = 0
-        chunks_read = 0
-        rows_restored = 0
-        target_rows: dict[int, np.ndarray] = {}
-        for manifest in chain:  # oldest first: increments overwrite base
-            b, c, r, rows_by_table = self._apply_manifest(model, manifest)
-            bytes_read += b
-            chunks_read += c
-            rows_restored += r
-            if manifest.checkpoint_id == target.checkpoint_id:
-                target_rows = {
-                    table_id: np.unique(np.concatenate(parts))
-                    for table_id, parts in rows_by_table.items()
-                }
-        # Dense state: only the target's copy matters (stored whole).
-        bytes_read += self._apply_dense(model, target)
-
-        progress = target.trainer_progress
-        model.batches_trained = int(progress.get("batches_trained", 0))
-        model.samples_trained = int(progress.get("samples_trained", 0))
-        if reader is not None:
-            reader.restore(ReaderState.from_dict(target.reader_state))
-
-        finished = max(self.clock.now, self.store.timeline.free_at)
-        return RestoreReport(
-            checkpoint_id=target.checkpoint_id,
-            chain_ids=[m.checkpoint_id for m in chain],
-            bytes_read=bytes_read,
-            chunks_read=chunks_read,
-            rows_restored=rows_restored,
-            started_at_s=started,
-            finished_at_s=finished,
-            target_rows_by_table=target_rows,
+        return _drain(
+            self.restore_steps(
+                model, target, manifests, reader=reader, policy=policy
+            )
         )
 
     def apply_single(

@@ -9,6 +9,18 @@ their restore chains reference*: deleting a one-shot baseline while an
 increment that needs it is retained would render that increment
 useless, so baselines are protected for as long as any kept increment
 points at them.
+
+The *storm-aware* mode (``max_chain_length``) additionally biases
+toward keeping one **full** checkpoint hot per job: when one more
+increment would push the restore chain past the bound, the manager
+asks the controller to refresh the baseline (take a full) instead of
+extending the chain. A correlated restore storm re-reads every
+affected job's whole chain through the shared link, so bounding chain
+depth trades a little extra write traffic for a large cut in storm
+read traffic — and lets the superseded long chain be scrubbed once the
+fresh full lands. The fleet enables it via
+``FleetConfig.retention_mode="storm_aware"`` when a
+``storm_domain`` is armed.
 """
 
 from __future__ import annotations
@@ -31,13 +43,60 @@ class RetentionReport:
 
 
 class RetentionManager:
-    """Deletes unprotected checkpoints beyond the retention window."""
+    """Deletes unprotected checkpoints beyond the retention window.
 
-    def __init__(self, store: ObjectStore, keep_last: int) -> None:
+    ``max_chain_length`` arms the storm-aware mode: a bound on how many
+    links the newest checkpoint's restore chain may carry before the
+    manager requests a baseline refresh (None = unbounded, the
+    chain-depth behaviour every policy had before storms were a
+    concern).
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        keep_last: int,
+        max_chain_length: int | None = None,
+    ) -> None:
         if keep_last < 1:
             raise CheckpointError("keep_last must be >= 1")
+        if max_chain_length is not None and max_chain_length < 1:
+            raise CheckpointError("max_chain_length must be >= 1")
         self.store = store
         self.keep_last = keep_last
+        self.max_chain_length = max_chain_length
+
+    @property
+    def storm_aware(self) -> bool:
+        return self.max_chain_length is not None
+
+    def wants_baseline_refresh(
+        self,
+        manifests: dict[str, CheckpointManifest],
+        policy: CheckpointPolicy,
+        base_id: str | None,
+    ) -> bool:
+        """Whether the next checkpoint should be forced full.
+
+        ``base_id`` is the checkpoint the *next increment* would chain
+        on (the controller's prospective base). True when storm-aware
+        mode is on and that increment's restore chain — its base's
+        chain plus itself — would exceed ``max_chain_length``, so the
+        controller refreshes the baseline instead of extending. The
+        test is prospective on purpose: a one-shot/intermittent
+        increment always chains directly on the full baseline (chain
+        length 2 regardless of history), so only consecutive-style
+        policies, whose chains actually grow, ever trigger a refresh
+        at bounds >= 2. The refreshed full supersedes the old chain,
+        which the next :meth:`enforce` pass scrubs once ``keep_last``
+        newer checkpoints cover it.
+        """
+        if self.max_chain_length is None:
+            return False
+        if base_id is None or base_id not in manifests:
+            return False
+        chain = policy.restore_chain(manifests[base_id], manifests)
+        return len(chain) + 1 > self.max_chain_length
 
     def enforce(
         self,

@@ -60,6 +60,11 @@ class FleetJobResult:
     checkpoints_written: int
     checkpoints_skipped: int
     admission_deferred: int
+    #: Restores paced by the read-side admission controller (start
+    #: deferred until the projected backlog drained to the threshold).
+    restore_deferred: int
+    #: Checkpoints forced full by storm-aware retention's chain bound.
+    baseline_refreshes: int
     restores: int
     failures: int
     storm_crashes: int
@@ -115,6 +120,11 @@ class FleetRunReport:
     #: Checkpoint triggers the admission controller deferred (static
     #: cap or dynamic backlog), summed over the fleet.
     admission_deferrals: int = 0
+    #: Restores the read-side admission controller paced, summed over
+    #: the fleet (prod restores are never paced).
+    restore_deferrals: int = 0
+    #: Checkpoints forced full by storm-aware retention, fleet-wide.
+    baseline_refreshes: int = 0
     #: Transient-failure retries per op class, from the op log's
     #: receipts: ``((op, total_retries), ...)`` over every class that
     #: saw requests.
@@ -201,6 +211,8 @@ def summarize_fleet(
                 checkpoints_written=stats.checkpoints_written,
                 checkpoints_skipped=stats.checkpoints_skipped,
                 admission_deferred=job.admission_deferred,
+                restore_deferred=job.restore_deferred,
+                baseline_refreshes=stats.baseline_refreshes,
                 restores=stats.restores,
                 failures=job.failures_injected,
                 storm_crashes=job.storm_crashes,
@@ -270,6 +282,12 @@ def summarize_fleet(
         admission_deferrals=sum(
             r.admission_deferred for r in job_results
         ),
+        restore_deferrals=sum(
+            r.restore_deferred for r in job_results
+        ),
+        baseline_refreshes=sum(
+            r.baseline_refreshes for r in job_results
+        ),
         retries_by_op=retries_by_op,
         part_interleave_splits=part_split_score(puts),
         pool_busy_s=engine.pool_busy_s,
@@ -337,7 +355,9 @@ def format_fleet_report(report: FleetRunReport) -> str:
             )
             or "none"
         ),
-        f"admission deferrals: {report.admission_deferrals}",
+        f"admission deferrals: {report.admission_deferrals}"
+        f"  restore pacing deferrals: {report.restore_deferrals}"
+        f"  baseline refreshes: {report.baseline_refreshes}",
         f"quantize pool (measured): {report.pool_busy_s:.3f} s busy, "
         f"{report.pool_wait_s:.3f} s blocked, "
         f"{report.pool_overlap_s:.3f} s overlapped",
@@ -378,6 +398,9 @@ class TierSummary:
     #: Checkpoint triggers the admission controller deferred for this
     #: tier's jobs (dynamic mode defers experimental, admits prod).
     admission_deferred: int
+    #: Restores the read-side admission controller paced for this
+    #: tier's jobs (always 0 for prod — prod restores admit at once).
+    restore_deferred: int
     #: Restore-latency distribution over the tier's storm restores
     #: (all restores when no storm fired), seconds.
     restore_latency_p50_s: float
@@ -440,6 +463,9 @@ def summarize_tiers(report: FleetRunReport) -> tuple[TierSummary, ...]:
                 admission_deferred=sum(
                     j.admission_deferred for j in jobs
                 ),
+                restore_deferred=sum(
+                    j.restore_deferred for j in jobs
+                ),
                 restore_latency_p50_s=p50,
                 restore_latency_p95_s=p95,
                 restore_latency_max_s=latest,
@@ -478,10 +504,12 @@ def format_storm_report(report: FleetRunReport) -> str:
             or "none"
         )
         + f"  |  admission deferrals: {report.admission_deferrals}"
+        + f"  |  restore pacing deferrals: {report.restore_deferrals}"
+        + f"  |  baseline refreshes: {report.baseline_refreshes}"
     )
     lines.append("")
     header = (
-        "tier          jobs  restores  storm  preempt  defer"
+        "tier          jobs  restores  storm  preempt  defer  rdefer"
         "  rst_p50_s  rst_p95_s  rst_max_s  degrade  goodput  useful_b/s"
     )
     lines.append(header)
@@ -491,6 +519,7 @@ def format_storm_report(report: FleetRunReport) -> str:
             f"{t.tier:<13s} {t.num_jobs:>4d}  {t.restores:>8d}"
             f"  {t.storm_restores:>5d}  {t.preempted_writes:>7d}"
             f"  {t.admission_deferred:>5d}"
+            f"  {t.restore_deferred:>6d}"
             f"  {t.restore_latency_p50_s:>9.3f}"
             f"  {t.restore_latency_p95_s:>9.3f}"
             f"  {t.restore_latency_max_s:>9.3f}"

@@ -152,6 +152,13 @@ def spec_experiment_config(
             quantizer=spec.quantizer,
             bit_width=spec.bit_width,
             keep_last=fleet.keep_last,
+            # Storm-aware retention bounds every job's restore chain so
+            # a correlated storm re-reads short chains per job.
+            max_chain_length=(
+                fleet.storm_chain_limit
+                if fleet.retention_mode == "storm_aware"
+                else None
+            ),
         ),
         failures=fleet.failures,
     )
@@ -200,6 +207,10 @@ class FleetJob:
     failures_injected: int = 0
     torn_writes: int = 0
     admission_deferred: int = 0
+    #: Restores the read-side admission controller paced (deferred
+    #: start until the projected backlog drained to the threshold) —
+    #: always 0 for prod jobs, which admit unconditionally.
+    restore_deferred: int = 0
     quota_rejections: int = 0
     #: Writes lost to a permanently failing request (transient-failure
     #: retries exhausted): aborted, scrubbed, training continued.
@@ -216,6 +227,9 @@ class FleetJob:
     #: triggers measure the job's checkpoint interval in simulated
     #: seconds, the admission controller's deferral threshold.
     last_trigger_s: float | None = None
+    #: Measured gap between the job's last two checkpoint triggers —
+    #: the threshold unit for both write- and read-side admission.
+    measured_interval_s: float | None = None
     restore_samples: list[RestoreSample] = field(default_factory=list)
 
     @property

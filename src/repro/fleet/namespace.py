@@ -137,6 +137,21 @@ class ScopedStore:
             byte_range=byte_range,
         )
 
+    def stage_get(
+        self, key: str, byte_range: tuple[int, int] | None = None
+    ):
+        """Stage a part-granular GET (see
+        :meth:`~repro.storage.object_store.ObjectStore.stage_get`),
+        namespace-checked, stream-tagged and clock-floored like
+        :meth:`get`."""
+        self._check(key)
+        return self.base.stage_get(
+            key,
+            earliest=self.clock.now,
+            stream=self.job_id,
+            byte_range=byte_range,
+        )
+
     def delete(self, key: str) -> OpReceipt:
         self._check(key)
         return self.base.delete(

@@ -71,7 +71,7 @@ from ..errors import (
 from ..failures.domains import StormPlan, assign_domains, plan_storm
 from ..failures.models import WeibullFailures
 from ..failures.traces import FailureTrace
-from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD
+from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD, TIER_RANK
 from ..storage.engine import AdmissionController
 from ..storage.object_store import ObjectStore
 from .jobs import (
@@ -120,6 +120,8 @@ class FleetScheduler:
             mode=config.resolved_admission_mode,
             max_concurrent=config.max_concurrent_writes,
             backlog_factor=config.admission_backlog_factor,
+            read_mode=config.restore_admission,
+            read_backlog_factor=config.restore_backlog_factor,
         )
         if jobs is None:
             jobs = [
@@ -548,10 +550,14 @@ class FleetScheduler:
         """Crash every job in the struck domain; drain the restore storm.
 
         All affected jobs die at (essentially) the same simulated
-        moment; their restores then contend for the shared link. The
-        drain order is the arbiter's call — strict tier priority first,
-        fair-queueing tags within a tier — so prod recoveries are never
-        starved behind experimental read traffic.
+        moment; their restores then contend for the shared link. Every
+        victim's restore is *staged* (one announced GET part at a time,
+        read-side admission pacing experimental starts), and the drain
+        interleaves parts across the recovering jobs in arbiter order —
+        strict tier priority first, fair-queueing tags within a tier —
+        so prod recoveries are never starved behind experimental read
+        traffic and the link switches streams at part granularity
+        instead of serving whole restores head-of-line.
         """
         plan = self.storm_plan
         assert plan is not None
@@ -576,14 +582,81 @@ class FleetScheduler:
             )
         )
         self._storm_draining = set(affected)
+        # Crash events buffer until the drain completes so they emit in
+        # tier-rank order (prod recoveries first), matching the order
+        # the link actually serves the storm in.
+        finished: list[tuple[int, FleetEvent]] = []
         try:
-            while affected:
-                chosen = self.store.arbiter.pick(sorted(affected))
-                job = affected.pop(chosen)
+            # Bookkeeping pass for every victim first — the whole
+            # domain dies at the same moment, so torn writes abort
+            # before any recovery read is staged. Arbiter pick order
+            # (prod tiers first) keeps the pass deterministic.
+            crashed: list[tuple[FleetJob, dict]] = []
+            pool = dict(affected)
+            while pool:
+                chosen = self.store.arbiter.pick(sorted(pool))
+                job = pool.pop(chosen)
                 self._storm_draining.discard(job.job_id)
-                self._crash(job, cause="storm")
+                crashed.append((job, self._crash_bookkeeping(job, "storm")))
+            # Stage and drain one tier at a time, prod first: strict
+            # priority means an experimental part could never submit
+            # while prod parts are pending anyway, and deferring even
+            # the experimental *manifest discovery* reads keeps prod
+            # recoveries queueing behind prod traffic only. By the time
+            # an experimental restore is admission-checked, the whole
+            # prod drain sits in the backlog signal it is paced on.
+            for rank in sorted(set(TIER_RANK.values())):
+                active: list[tuple[FleetJob, object, dict]] = []
+                for job, ctx in crashed:
+                    if TIER_RANK[job.tier] != rank:
+                        continue
+                    pending = self._begin_restore_paced(job)
+                    if pending is None:
+                        event = self._finish_recovery(
+                            job, ctx, None, "storm"
+                        )
+                        finished.append((rank, event))
+                    else:
+                        active.append((job, pending, ctx))
+                # Part-granular drain within the tier: the earliest
+                # ready part wins the link; ties go to the arbiter's
+                # SFQ tags, so recovering jobs alternate part by part
+                # instead of reading whole chains head-of-line.
+                while active:
+                    link_free = self.store.timeline.free_at
+                    candidates = [
+                        (max(entry[1].next_step.ready_s, link_free), entry)
+                        for entry in active
+                        if entry[1].next_step is not None
+                    ]
+                    best_t = min(t for t, _ in candidates)
+                    tied = [
+                        entry
+                        for t, entry in candidates
+                        if t <= best_t + 1e-12
+                    ]
+                    if len(tied) > 1:
+                        chosen = self.store.arbiter.pick(
+                            [entry[0].job_id for entry in tied]
+                        )
+                        entry = next(
+                            e for e in tied if e[0].job_id == chosen
+                        )
+                    else:
+                        entry = tied[0]
+                    job, pending, ctx = entry
+                    pending.advance()
+                    if pending.done:
+                        active.remove(entry)
+                        event = self._finish_recovery(
+                            job, ctx, pending, "storm"
+                        )
+                        finished.append((rank, event))
         finally:
             self._storm_draining = set()
+        finished.sort(key=lambda pair: pair[0])  # stable: prod first
+        for _, event in finished:
+            self._emit(event)
 
     # ------------------------------------------------------------------
     # Train path
@@ -624,6 +697,9 @@ class FleetScheduler:
             else None
         )
         job.last_trigger_s = job.clock.now
+        if interval_s is not None:
+            # Shared threshold unit for write- and read-side admission.
+            job.measured_interval_s = interval_s
         # A new interval boundary supersedes any preempted write still
         # waiting to restage — its snapshot would be stale anyway.
         job.requeue_write = False
@@ -670,7 +746,13 @@ class FleetScheduler:
     # Crash / recovery
     # ------------------------------------------------------------------
 
-    def _crash(self, job: FleetJob, cause: str = "failure") -> None:
+    def _crash_bookkeeping(self, job: FleetJob, cause: str) -> dict:
+        """Everything a crash does *before* any restore read is staged.
+
+        Aborts the torn write, discards an unlanded manifest, snapshots
+        the valid-checkpoint set, and fires restore-side preemption.
+        Returns the context the recovery finisher needs.
+        """
         if cause == "storm":
             # Correlated crashes ride on top of the independent failure
             # process — they must not consume the job's Weibull
@@ -726,25 +808,89 @@ class FleetScheduler:
         ):
             self._preempt_experimental_writes(job)
 
-        before = job.model.batches_trained
-        gets_before = len(
-            self.store.log.transfers("get", stream=job.job_id)
+        return {
+            "crash_time_s": job.clock.now,
+            "torn_id": torn_id,
+            "torn_chunks": torn_chunks,
+            "valid_before": valid_before,
+            "batches_before": job.model.batches_trained,
+            "gets_before": len(
+                self.store.log.transfers("get", stream=job.job_id)
+            ),
+        }
+
+    def _begin_restore_paced(self, job: FleetJob):
+        """Stage the job's restore through read-side admission.
+
+        Prod restores always start at once. Under dynamic restore
+        admission an experimental restore whose projected queue delay
+        (write backlog plus queued restore parts) exceeds the threshold
+        is *paced*: the job waits out exactly the excess — its clock
+        advances, stretching the measured restore latency — and then
+        stages. Returns the primed ``PendingRestore``, or None when the
+        job has nothing restorable (the scratch-restart path).
+        """
+        if not job.controller.valid_manifests():
+            return None
+        decision = self.admission.decide_get(
+            stream=job.job_id,
+            tier=job.tier,
+            now=job.clock.now,
+            interval_s=job.measured_interval_s,
         )
+        if not decision.admitted:
+            assert decision.threshold_s is not None
+            wait = max(
+                0.0, decision.projected_delay_s - decision.threshold_s
+            )
+            job.restore_deferred += 1
+            self._emit(
+                FleetEvent(
+                    "restore_deferred",
+                    job.job_id,
+                    job.clock.now,
+                    {
+                        "projected_delay_s": decision.projected_delay_s,
+                        "threshold_s": decision.threshold_s,
+                        "paced_wait_s": wait,
+                    },
+                )
+            )
+            job.clock.advance(wait, "restore-admission")
         try:
-            report = job.controller.restore_latest()
+            return job.controller.begin_restore()
+        except CheckpointNotFoundError:  # pragma: no cover - raced
+            return None
+
+    def _finish_recovery(
+        self, job: FleetJob, ctx: dict, pending, cause: str
+    ) -> FleetEvent:
+        """Complete a crash after its restore drained (or scratch).
+
+        Books the restore sample (latency measured from the *crash*, so
+        admission pacing shows up as queueing), wasted batches, torn
+        scrubbing and the next failure time. Returns the crash event —
+        the caller controls emission order (the storm drain buffers
+        events to emit prod recoveries first).
+        """
+        if pending is not None:
+            report = job.controller.finish_restore(pending)
             restored_from: str | None = report.checkpoint_id
             after = job.model.batches_trained
             gets = self.store.log.transfers(
                 "get", stream=job.job_id
-            )[gets_before:]
+            )[ctx["gets_before"]:]
             job.restore_samples.append(
                 RestoreSample(
                     cause=cause,
-                    latency_s=report.duration_s,
+                    latency_s=max(
+                        0.0,
+                        report.finished_at_s - ctx["crash_time_s"],
+                    ),
                     service_s=sum(t.duration_s for t in gets),
                 )
             )
-        except CheckpointNotFoundError:
+        else:
             job.model.reinitialize()
             job.reader.restore(
                 ReaderState(
@@ -756,24 +902,37 @@ class FleetScheduler:
             job.scratch_restarts += 1
             restored_from = None
             after = 0
-        job.wasted_batches += max(0, before - after)
+        job.wasted_batches += max(0, ctx["batches_before"] - after)
         job.batches_left = job.spec.interval_batches
-        if torn_id is not None:
+        if ctx["torn_id"] is not None:
             # The recovered controller never re-adopts a torn write;
             # scrub its orphaned chunks from the shared store.
-            self._scrub_torn(job, torn_id)
+            self._scrub_torn(job, ctx["torn_id"])
         job.next_failure_s = job.clock.now + self._sample_ttf(job)
-        self._emit(
-            FleetEvent(
-                "crash",
-                job.job_id,
-                job.clock.now,
-                {
-                    "cause": cause,
-                    "restored_from": restored_from,
-                    "torn_checkpoint": torn_id,
-                    "torn_chunks": torn_chunks,
-                    "valid_before": valid_before,
-                },
-            )
+        return FleetEvent(
+            "crash",
+            job.job_id,
+            job.clock.now,
+            {
+                "cause": cause,
+                "restored_from": restored_from,
+                "torn_checkpoint": ctx["torn_id"],
+                "torn_chunks": ctx["torn_chunks"],
+                "valid_before": ctx["valid_before"],
+            },
         )
+
+    def _crash(self, job: FleetJob, cause: str = "failure") -> None:
+        """An independent crash: staged restore, drained immediately.
+
+        Timing-identical to the old synchronous restore — no other
+        job's parts race this one onto the link mid-recovery — but the
+        reads flow through the same staged, admission-paced path the
+        storm drain interleaves.
+        """
+        ctx = self._crash_bookkeeping(job, cause)
+        pending = self._begin_restore_paced(job)
+        if pending is not None:
+            while pending.advance() is not None:
+                pass
+        self._emit(self._finish_recovery(job, ctx, pending, cause))

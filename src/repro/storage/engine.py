@@ -35,6 +35,17 @@ not see the backlog it was supposed to govern. The
   checkpoint trigger when the projected queue delay exceeds one
   checkpoint interval — admitting prod, deferring experimental. The
   legacy cap survives as the controller's *static* mode.
+
+The read path is symmetric: :meth:`TransferEngine.stage_get` returns a
+:class:`StagedGet` — a GET decomposed into ranged parts submitted one
+at a time (one part when the object fits a single request), with the
+same retry/backoff loop populating
+:attr:`~repro.storage.requests.OpReceipt.retries` — so a fleet restore
+storm drains at *part* granularity through the same arbiter instead of
+head-of-line whole-chunk reads, and the admission controller's read
+side (:meth:`AdmissionController.decide_get`) can pace experimental
+restores on the combined read+write backlog while prod restores always
+admit.
 """
 
 from __future__ import annotations
@@ -60,8 +71,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 T = TypeVar("T")
 
-#: Valid admission-controller modes.
+#: Valid admission-controller modes (write side).
 ADMISSION_MODES = ("none", "static", "dynamic")
+
+#: Valid read-side (restore) admission modes: reads have no static cap
+#: — a restore is never optional, only *paceable*.
+READ_ADMISSION_MODES = ("none", "dynamic")
 
 # ----------------------------------------------------------------------
 # Worker pool (real threads; shared across engines)
@@ -423,6 +438,259 @@ class StagedPut:
         self.engine._deregister(self)
 
 
+class StagedGet:
+    """A GET decomposed into announced ranged parts, submitted one at a
+    time — the read-side mirror of :class:`StagedPut`.
+
+    Produced by :meth:`TransferEngine.stage_get`. Against a backend
+    advertising ``range_get_bytes``, a whole-object read larger than
+    that window splits into ranged sub-GETs fanned over the backend's
+    request lanes; anything else is a single part. Each
+    :meth:`submit_next` call issues exactly one request — retrying
+    transient failures through the engine's backoff loop — and the
+    final call records the :class:`OpReceipt` (``retries`` populated)
+    in the store's op log. Between submissions the announced parts
+    count toward the engine's queued *read* backlog, the signal the
+    read-side admission controller paces experimental restores on, and
+    another stream's parts may claim the link — so a restore storm
+    drains at part granularity instead of head-of-line whole-chunk
+    reads. Draining a staged GET uninterrupted is timing-identical to
+    :meth:`TransferEngine.get`.
+    """
+
+    def __init__(
+        self,
+        engine: "TransferEngine",
+        key: str,
+        *,
+        earliest: float | None = None,
+        stream: str = "",
+        byte_range: tuple[int, int] | None = None,
+    ) -> None:
+        store = engine.store
+        if not key:
+            raise StorageError("object key must be non-empty")
+        self.engine = engine
+        self.store = store
+        self.key = key
+        self.stream = stream
+        self.earliest = earliest
+        self.byte_range = byte_range
+        window = store.backend.range_get_bytes
+        known = store._sizes.get(key)
+        self.ranged = (
+            byte_range is None
+            and window is not None
+            and known is not None
+            and known > window
+        )
+        self._issued = max(store.clock.now, earliest or 0.0)
+        if self.ranged:
+            assert window is not None and known is not None
+            self.size = known
+            self.parts: tuple[tuple[int, int], ...] = tuple(
+                (start, min(start + window, known))
+                for start in range(0, known, window)
+            )
+        else:
+            # Single-shot: the whole object, or just the explicit
+            # range, in one request. The expected byte count feeds the
+            # queued-read backlog signal, so a ranged probe of a huge
+            # object must announce only its window — and an object of
+            # unknown size announces 0 until its bytes arrive.
+            if byte_range is not None:
+                start, stop = byte_range
+                expected = max(0, stop - start)
+                if known is not None:
+                    expected = min(expected, max(0, known - start))
+            else:
+                expected = known if known is not None else 0
+            self.size = expected
+            self.parts = ((0, expected),)
+        self._next = 0
+        self._pieces: list[bytes] = []
+        self._lane_free: list[float] | None = None
+        self._started: float | None = None
+        self._first_byte: float | None = None
+        self._retries = 0
+        self._receipt: OpReceipt | None = None
+        self._aborted = False
+        engine._register_get(self)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def num_parts(self) -> int:
+        return len(self.parts)
+
+    @property
+    def next_part_number(self) -> int:
+        return min(self._next + 1, self.num_parts)
+
+    @property
+    def next_ready_s(self) -> float:
+        """Earliest simulated time the next part could be requested."""
+        return self._issued
+
+    @property
+    def done(self) -> bool:
+        return self._receipt is not None
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted
+
+    @property
+    def receipt(self) -> OpReceipt | None:
+        return self._receipt
+
+    @property
+    def remaining_bytes(self) -> int:
+        """Bytes announced but not yet requested on the link."""
+        if self.done or self._aborted:
+            return 0
+        return sum(stop - start for start, stop in self.parts[self._next :])
+
+    def data(self) -> bytes:
+        """The assembled object bytes (only once ``done``)."""
+        if self._receipt is None:
+            raise StorageError(
+                f"staged GET {self.key!r} has unsubmitted parts"
+            )
+        return b"".join(self._pieces)
+
+    # -- submission ----------------------------------------------------
+
+    def submit_next(self) -> OpReceipt | None:
+        """Issue the next announced ranged (or whole-object) request.
+
+        Returns ``None`` while parts remain; the last part records and
+        returns the final :class:`OpReceipt`.
+        """
+        if self._receipt is not None:
+            return self._receipt
+        if self._aborted:
+            raise StorageError(
+                f"staged GET {self.key!r} was already aborted"
+            )
+        try:
+            receipt = (
+                self._submit_part() if self.ranged else self._submit_single()
+            )
+        except Exception:
+            self.abort()
+            raise
+        if receipt is not None:
+            self._receipt = receipt
+            self.store.ops.record(receipt)
+            self.engine._deregister_get(self)
+        return receipt
+
+    def _submit_single(self) -> OpReceipt:
+        """One GET request: latency + bytes, serialised on the link."""
+        store = self.store
+        cost = store.costs.for_op(OP_GET)
+        request = StorageRequest(
+            OP_GET, self.key, stream=self.stream, byte_range=self.byte_range
+        )
+        data, retries, penalty, latency = self.engine.attempt_request(
+            OP_GET, lambda: store.backend.get_object(request)
+        )
+        duration = penalty + latency + cost.transfer_s(len(data))
+        span = store.timeline.submit(
+            duration, label=f"get:{self.key}", earliest=self.earliest
+        )
+        store.log.record(
+            Transfer(
+                self.key, len(data), span.start, span.end, "get", self.stream
+            )
+        )
+        if store.arbiter is not None and self.stream:
+            store.arbiter.on_transfer(self.stream, len(data), "get")
+        self._pieces.append(data)
+        self._next = 1
+        return OpReceipt(
+            op=OP_GET,
+            key=self.key,
+            logical_bytes=len(data),
+            physical_bytes=len(data),
+            issued_s=self._issued,
+            start_s=span.start,
+            first_byte_s=min(span.start + penalty + latency, span.end),
+            completed_s=span.end,
+            retries=retries,
+            stream=self.stream,
+        )
+
+    def _submit_part(self) -> OpReceipt | None:
+        """One ranged sub-GET; lanes overlap request latencies exactly
+        as :class:`StagedPut` parts do on the write side."""
+        store = self.store
+        cost = store.costs.for_op(OP_GET)
+        fanout = max(1, store.backend.fanout)
+        if self._next == 0:
+            self._started = max(self._issued, store.timeline.free_at)
+            self._lane_free = [self._started] * fanout
+        assert self._lane_free is not None
+        index = self._next
+        start, stop = self.parts[index]
+        request = StorageRequest(
+            OP_GET, self.key, stream=self.stream, byte_range=(start, stop)
+        )
+        chunk, retries, penalty, latency = self.engine.attempt_request(
+            OP_GET, lambda: store.backend.get_object(request)
+        )
+        self._retries += retries
+        lane = index % fanout
+        span = store.timeline.submit(
+            cost.transfer_s(len(chunk)),
+            label=f"get-range:{self.key}:{index}",
+            earliest=self._lane_free[lane] + penalty + latency,
+        )
+        self._lane_free[lane] = span.end
+        if self._first_byte is None:
+            self._first_byte = span.start
+        self._pieces.append(chunk)
+        store.log.record(
+            Transfer(
+                f"{self.key}#range{index}",
+                len(chunk),
+                span.start,
+                span.end,
+                "get",
+                self.stream,
+            )
+        )
+        if store.arbiter is not None and self.stream:
+            store.arbiter.on_transfer(self.stream, len(chunk), "get")
+        self._next += 1
+        if self._next < len(self.parts):
+            return None
+        assert self._started is not None and self._first_byte is not None
+        return OpReceipt(
+            op=OP_GET,
+            key=self.key,
+            logical_bytes=self.size,
+            physical_bytes=self.size,
+            issued_s=self._issued,
+            start_s=self._started,
+            first_byte_s=self._first_byte,
+            completed_s=max(self._lane_free),
+            parts=len(self.parts),
+            retries=self._retries,
+            stream=self.stream,
+        )
+
+    def abort(self) -> None:
+        """Abandon the staged read (nothing to roll back server-side —
+        GETs mutate no state — but the queued-byte backlog is released
+        so the admission signal does not count a dead restore)."""
+        if self._receipt is not None or self._aborted:
+            return
+        self._aborted = True
+        self.engine._deregister_get(self)
+
+
 class TransferEngine:
     """Owns staged parts, retries, the worker pool, and backlog signals
     for one :class:`~repro.storage.object_store.ObjectStore`."""
@@ -432,6 +700,7 @@ class TransferEngine:
         self.max_retries = store.config.max_retries
         self.retry_backoff_s = store.config.retry_backoff_s
         self._staged: list[StagedPut] = []
+        self._staged_gets: list[StagedGet] = []
         #: Successful-request retry ledger per op class (probe retries
         #: included; receipts carry the per-request counts).
         self.retries_by_op: dict[str, int] = {}
@@ -467,6 +736,36 @@ class TransferEngine:
             now,
             self.queued_put_bytes(),
             self.store.costs.for_op(OP_PUT).seconds_per_byte,
+        )
+
+    # -- staged-get registry -------------------------------------------
+
+    def _register_get(self, staged: StagedGet) -> None:
+        self._staged_gets.append(staged)
+
+    def _deregister_get(self, staged: StagedGet) -> None:
+        try:
+            self._staged_gets.remove(staged)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+
+    def staged_gets(self) -> list[StagedGet]:
+        """Staged reads with parts still awaiting submission."""
+        return list(self._staged_gets)
+
+    def queued_get_bytes(self) -> int:
+        """Bytes announced for reading (staged) but not yet requested."""
+        return sum(s.remaining_bytes for s in self._staged_gets)
+
+    def projected_restore_delay_s(self, now: float) -> float:
+        """The read-side backlog signal: link busy time past ``now``
+        plus the service time of every queued part on *either* side of
+        the link — staged write parts at the PUT byte rate and staged
+        read parts at the GET byte rate. A restore queues behind both,
+        so the read-side admission controller paces on their sum."""
+        write_backlog = self.projected_queue_delay_s(now)
+        return write_backlog + self.queued_get_bytes() * (
+            self.store.costs.for_op(OP_GET).seconds_per_byte
         )
 
     # -- retry / backoff -----------------------------------------------
@@ -575,6 +874,23 @@ class TransferEngine:
 
     # -- GET path ------------------------------------------------------
 
+    def stage_get(
+        self,
+        key: str,
+        *,
+        earliest: float | None = None,
+        stream: str = "",
+        byte_range: tuple[int, int] | None = None,
+    ) -> StagedGet:
+        """Announce a GET as individually submittable ranged parts."""
+        return StagedGet(
+            self,
+            key,
+            earliest=earliest,
+            stream=stream,
+            byte_range=byte_range,
+        )
+
     def get(
         self,
         key: str,
@@ -582,118 +898,18 @@ class TransferEngine:
         stream: str = "",
         byte_range: tuple[int, int] | None = None,
     ) -> bytes:
-        """Fetch an object, fanning large reads over request lanes."""
-        store = self.store
-        window = store.backend.range_get_bytes
-        known = store._sizes.get(key)
-        if (
-            byte_range is None
-            and window is not None
-            and known is not None
-            and known > window
-        ):
-            return self._get_ranged(key, known, window, earliest, stream)
-        cost = store.costs.for_op(OP_GET)
-        issued = max(store.clock.now, earliest or 0.0)
-        request = StorageRequest(
-            OP_GET, key, stream=stream, byte_range=byte_range
-        )
-        data, retries, penalty, latency = self.attempt_request(
-            OP_GET, lambda: store.backend.get_object(request)
-        )
-        duration = penalty + latency + cost.transfer_s(len(data))
-        span = store.timeline.submit(
-            duration, label=f"get:{key}", earliest=earliest
-        )
-        store.log.record(
-            Transfer(key, len(data), span.start, span.end, "get", stream)
-        )
-        if store.arbiter is not None and stream:
-            store.arbiter.on_transfer(stream, len(data), "get")
-        store.ops.record(
-            OpReceipt(
-                op=OP_GET,
-                key=key,
-                logical_bytes=len(data),
-                physical_bytes=len(data),
-                issued_s=issued,
-                start_s=span.start,
-                first_byte_s=min(
-                    span.start + penalty + latency, span.end
-                ),
-                completed_s=span.end,
-                retries=retries,
-                stream=stream,
-            )
-        )
-        return data
+        """Stage a GET and drain it immediately (parts back-to-back).
 
-    def _get_ranged(
-        self,
-        key: str,
-        size: int,
-        window: int,
-        earliest: float | None,
-        stream: str,
-    ) -> bytes:
-        """Split one large GET into ranged sub-GETs over request lanes."""
-        store = self.store
-        cost = store.costs.for_op(OP_GET)
-        fanout = max(1, store.backend.fanout)
-        issued = max(store.clock.now, earliest or 0.0)
-        started = max(issued, store.timeline.free_at)
-        lane_free = [started] * fanout
-        first_byte: float | None = None
-        total_retries = 0
-        pieces: list[bytes] = []
-        for index, start in enumerate(range(0, size, window)):
-            stop = min(start + window, size)
-            request = StorageRequest(
-                OP_GET, key, stream=stream, byte_range=(start, stop)
-            )
-            chunk, retries, penalty, latency = self.attempt_request(
-                OP_GET, lambda: store.backend.get_object(request)
-            )
-            total_retries += retries
-            lane = index % fanout
-            span = store.timeline.submit(
-                cost.transfer_s(len(chunk)),
-                label=f"get-range:{key}:{index}",
-                earliest=lane_free[lane] + penalty + latency,
-            )
-            lane_free[lane] = span.end
-            if first_byte is None:
-                first_byte = span.start
-            pieces.append(chunk)
-            store.log.record(
-                Transfer(
-                    f"{key}#range{index}",
-                    len(chunk),
-                    span.start,
-                    span.end,
-                    "get",
-                    stream,
-                )
-            )
-            if store.arbiter is not None and stream:
-                store.arbiter.on_transfer(stream, len(chunk), "get")
-        assert first_byte is not None
-        store.ops.record(
-            OpReceipt(
-                op=OP_GET,
-                key=key,
-                logical_bytes=size,
-                physical_bytes=size,
-                issued_s=issued,
-                start_s=started,
-                first_byte_s=first_byte,
-                completed_s=max(lane_free),
-                parts=len(pieces),
-                retries=total_retries,
-                stream=stream,
-            )
+        The single-caller path: timing is identical to staging the same
+        read and submitting every ranged part without interleaved
+        traffic.
+        """
+        staged = self.stage_get(
+            key, earliest=earliest, stream=stream, byte_range=byte_range
         )
-        return b"".join(pieces)
+        while not staged.done:
+            staged.submit_next()
+        return staged.data()
 
     # -- worker pool ---------------------------------------------------
 
@@ -758,6 +974,15 @@ class AdmissionController:
       A checkpoint that would queue longer than the interval it covers
       is stale before it lands — deferring it sheds load exactly when
       the shared store is saturated.
+
+    The *read side* (``read_mode``, :meth:`decide_get`) paces restores
+    instead of skipping them — a restore is never optional, so there is
+    no static cap and a deferral means "wait out the backlog", not
+    "drop the read". In ``"dynamic"`` read mode an experimental
+    restore is deferred while the engine's projected *restore* delay
+    (write backlog plus queued read parts) exceeds
+    ``read_backlog_factor`` x the job's checkpoint interval; prod
+    restores always admit, preserving the storm's prod-first drain.
     """
 
     def __init__(
@@ -766,11 +991,18 @@ class AdmissionController:
         mode: str = "none",
         max_concurrent: int | None = None,
         backlog_factor: float = 1.0,
+        read_mode: str = "none",
+        read_backlog_factor: float = 1.0,
     ) -> None:
         if mode not in ADMISSION_MODES:
             raise StorageError(
                 f"unknown admission mode {mode!r}; valid: "
                 f"{ADMISSION_MODES}"
+            )
+        if read_mode not in READ_ADMISSION_MODES:
+            raise StorageError(
+                f"unknown read admission mode {read_mode!r}; valid: "
+                f"{READ_ADMISSION_MODES}"
             )
         if mode == "static" and (
             max_concurrent is None or max_concurrent < 1
@@ -780,17 +1012,28 @@ class AdmissionController:
             )
         if backlog_factor <= 0:
             raise StorageError("backlog_factor must be > 0")
+        if read_backlog_factor <= 0:
+            raise StorageError("read_backlog_factor must be > 0")
         self.engine = engine
         self.mode = mode
+        self.read_mode = read_mode
         self.max_concurrent = max_concurrent
         self.backlog_factor = backlog_factor
+        self.read_backlog_factor = read_backlog_factor
         self.admitted = 0
         self.deferrals_by_stream: dict[str, int] = {}
         self.deferrals_by_tier: dict[str, int] = {}
+        self.read_admitted = 0
+        self.read_deferrals_by_stream: dict[str, int] = {}
+        self.read_deferrals_by_tier: dict[str, int] = {}
 
     @property
     def total_deferrals(self) -> int:
         return sum(self.deferrals_by_stream.values())
+
+    @property
+    def total_read_deferrals(self) -> int:
+        return sum(self.read_deferrals_by_stream.values())
 
     def _defer(
         self,
@@ -838,4 +1081,40 @@ class AdmissionController:
                         stream, tier, "backlog", projected, threshold
                     )
         self.admitted += 1
+        return AdmissionDecision(True, "admitted", projected)
+
+    def decide_get(
+        self,
+        *,
+        stream: str,
+        tier: str,
+        now: float,
+        interval_s: float | None = None,
+    ) -> AdmissionDecision:
+        """Admit or defer one restore (read-side pacing).
+
+        A deferred decision carries the projection and threshold so the
+        caller can wait out exactly ``projected - threshold`` seconds
+        and then proceed — restores are paced, never dropped.
+        ``interval_s`` is the job's measured checkpoint interval (None
+        before the second trigger, which always admits).
+        """
+        projected = self.engine.projected_restore_delay_s(now)
+        if (
+            self.read_mode == "dynamic"
+            and tier != TIER_PROD
+            and interval_s is not None
+        ):
+            threshold = self.read_backlog_factor * interval_s
+            if projected > threshold:
+                self.read_deferrals_by_stream[stream] = (
+                    self.read_deferrals_by_stream.get(stream, 0) + 1
+                )
+                self.read_deferrals_by_tier[tier] = (
+                    self.read_deferrals_by_tier.get(tier, 0) + 1
+                )
+                return AdmissionDecision(
+                    False, "read_backlog", projected, threshold
+                )
+        self.read_admitted += 1
         return AdmissionDecision(True, "admitted", projected)

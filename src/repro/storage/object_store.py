@@ -35,7 +35,7 @@ from ..distributed.clock import SimClock, Timeline
 from ..errors import StorageError
 from .backends import Backend
 from .bandwidth import BandwidthArbiter, TransferLog
-from .engine import StagedPut, TransferEngine
+from .engine import StagedGet, StagedPut, TransferEngine
 from .requests import (
     OP_DELETE,
     OP_GET,
@@ -302,6 +302,29 @@ class ObjectStore:
         with backoff.
         """
         return self.engine.get(
+            key,
+            earliest=earliest,
+            stream=stream,
+            byte_range=byte_range,
+        )
+
+    def stage_get(
+        self,
+        key: str,
+        earliest: float | None = None,
+        stream: str = "",
+        byte_range: tuple[int, int] | None = None,
+    ) -> StagedGet:
+        """Announce a GET whose ranged parts are submitted one at a time.
+
+        The read-side mirror of :meth:`stage_put`: the restore path
+        stages its chunk reads so the fleet scheduler can interleave
+        *parts* from many recovering jobs through the bandwidth arbiter
+        — a restore storm drains part by part instead of whole chunk
+        reads head-of-line. Draining a staged GET uninterrupted is
+        timing-identical to :meth:`get`.
+        """
+        return self.engine.stage_get(
             key,
             earliest=earliest,
             stream=stream,

@@ -182,34 +182,70 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="train a job with checkpoints")
-    run.add_argument("--store-dir", required=True)
-    run.add_argument("--job", default="job0")
-    run.add_argument("--policy", default="intermittent")
-    run.add_argument("--quantizer", default="adaptive")
-    run.add_argument("--bits", type=int, default=4)
-    run.add_argument("--intervals", type=int, default=3)
-    run.add_argument("--interval-batches", type=int, default=20)
-    run.add_argument("--tables", type=int, default=4)
-    run.add_argument("--rows", type=int, default=4096)
+    run.add_argument(
+        "--store-dir", required=True,
+        help="directory for the file-backed object store",
+    )
+    run.add_argument("--job", default="job0", help="job id (namespace)")
+    run.add_argument(
+        "--policy", default="intermittent",
+        help="checkpoint policy: full, one_shot, consecutive, "
+        "intermittent",
+    )
+    run.add_argument(
+        "--quantizer", default="adaptive",
+        help="quantizer: none, float16, symmetric, asymmetric, "
+        "adaptive, kmeans",
+    )
+    run.add_argument(
+        "--bits", type=int, default=4, help="quantization bit width"
+    )
+    run.add_argument(
+        "--intervals", type=int, default=3,
+        help="checkpoint intervals to train",
+    )
+    run.add_argument(
+        "--interval-batches", type=int, default=20,
+        help="training batches per checkpoint interval",
+    )
+    run.add_argument(
+        "--tables", type=int, default=4, help="embedding tables"
+    )
+    run.add_argument(
+        "--rows", type=int, default=4096, help="rows per embedding table"
+    )
     run.set_defaults(func=cmd_run)
 
     inspect_cmd = sub.add_parser(
         "inspect", help="list a job's checkpoints"
     )
-    inspect_cmd.add_argument("--store-dir", required=True)
-    inspect_cmd.add_argument("--job", default="job0")
+    inspect_cmd.add_argument(
+        "--store-dir", required=True,
+        help="directory of the file-backed object store",
+    )
+    inspect_cmd.add_argument(
+        "--job", default="job0", help="job id to inspect"
+    )
     inspect_cmd.set_defaults(func=cmd_inspect)
 
     scrub = sub.add_parser("scrub", help="verify stored chunk CRCs")
-    scrub.add_argument("--store-dir", required=True)
-    scrub.add_argument("--job", default="job0")
+    scrub.add_argument(
+        "--store-dir", required=True,
+        help="directory of the file-backed object store",
+    )
+    scrub.add_argument("--job", default="job0", help="job id to scrub")
     scrub.set_defaults(func=cmd_scrub)
 
     restore = sub.add_parser(
         "restore", help="restore a job's newest checkpoint"
     )
-    restore.add_argument("--store-dir", required=True)
-    restore.add_argument("--job", default="job0")
+    restore.add_argument(
+        "--store-dir", required=True,
+        help="directory of the file-backed object store",
+    )
+    restore.add_argument(
+        "--job", default="job0", help="job id to restore"
+    )
     restore.set_defaults(func=cmd_restore)
 
     figures = sub.add_parser(
@@ -242,6 +278,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--admission-backlog-factor", type=float, default=1.0,
         help="dynamic admission threshold, in checkpoint intervals of "
         "projected backlog",
+    )
+    fleet.add_argument(
+        "--restore-admission", choices=["none", "dynamic"],
+        default="none",
+        help="read-side admission for restores: 'dynamic' paces an "
+        "experimental job's restore until the link's projected backlog "
+        "(write parts + queued restore reads) drains to the threshold; "
+        "prod restores always start at once",
+    )
+    fleet.add_argument(
+        "--restore-backlog-factor", type=float, default=1.0,
+        help="read-side pacing threshold, in checkpoint intervals of "
+        "projected backlog",
+    )
+    fleet.add_argument(
+        "--retention", choices=["chain_depth", "storm_aware"],
+        default="chain_depth",
+        help="retention flavour: 'storm_aware' bounds every job's "
+        "restore chain at --storm-chain-limit by forcing baseline "
+        "refreshes, so a correlated storm re-reads short chains "
+        "(requires --storm)",
+    )
+    fleet.add_argument(
+        "--storm-chain-limit", type=int, default=2,
+        help="restore-chain length bound under --retention storm_aware",
     )
     fleet.add_argument(
         "--quota-bytes", type=int, default=None,
@@ -384,6 +445,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         max_concurrent_writes=args.max_concurrent_writes,
         admission_mode=args.admission,
         admission_backlog_factor=args.admission_backlog_factor,
+        restore_admission=args.restore_admission,
+        restore_backlog_factor=args.restore_backlog_factor,
+        retention_mode=args.retention,
+        storm_chain_limit=args.storm_chain_limit,
         per_job_quota_bytes=args.quota_bytes,
         inject_failures=not args.no_failures,
         priority_mix=args.priority_mix,
@@ -408,6 +473,13 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             variant += f" (part {args.part_size} B x{args.part_fanout})"
     if config.resolved_admission_mode != "none":
         variant += f", admission {config.resolved_admission_mode}"
+    if args.restore_admission != "none":
+        variant += f", restore admission {args.restore_admission}"
+    if args.retention != "chain_depth":
+        variant += (
+            f", retention {args.retention}"
+            f" (chain <= {args.storm_chain_limit})"
+        )
     if args.failure_prob > 0.0 and args.backend == "s3like":
         variant += f", failure prob {args.failure_prob:g}"
     body = "\n".join(

@@ -1,4 +1,4 @@
-"""Markdown link checker for the repo's documentation surface.
+"""Markdown link + CLI-reference checker for the docs surface.
 
 CI runs this over ``README.md`` and ``docs/*.md`` so the documented
 entry points cannot rot: every relative link must resolve to a file (or
@@ -7,12 +7,19 @@ must at least point at a markdown file that exists. External
 ``http(s)``/``mailto`` links are skipped — CI must not depend on the
 network.
 
+It also guards ``docs/cli.md`` against drift
+(:func:`check_cli_doc`): every option string of every ``repro``
+subcommand (from :func:`repro.tools.cli.build_parser`) must appear in
+the generated reference — adding a flag without re-running
+``python -m repro.tools.clidoc --out docs/cli.md`` fails CI and
+``tests/test_docs.py``.
+
 Usage::
 
     python -m repro.tools.docscheck [--root REPO_ROOT]
 
-Exit status 0 when every link resolves, 1 otherwise (broken links are
-listed on stderr).
+Exit status 0 when every link resolves and the CLI reference is
+complete, 1 otherwise (problems are listed on stderr).
 """
 
 from __future__ import annotations
@@ -79,6 +86,51 @@ def check_tree(root: Path) -> dict[str, list[str]]:
     return report
 
 
+#: Location of the generated CLI reference relative to the repo root.
+CLI_DOC = Path("docs") / "cli.md"
+
+
+def check_cli_doc(root: Path) -> list[str]:
+    """Drift between the CLI parsers and the committed ``docs/cli.md``.
+
+    Two guards, reported in order:
+
+    * **missing flags** — each entry reads ``<subcommand>: <flag>``;
+      flags are matched as whole words, so a documented
+      ``--admission-backlog-factor`` does not hide a missing
+      ``--admission``. These entries name exactly what a parser change
+      added.
+    * **staleness** — the document is fully generated, so anything
+      short of byte-equality with the current
+      :func:`repro.tools.clidoc.render_cli_doc` output (a removed or
+      renamed flag, a changed default or help string) is drift too,
+      reported as one ``stale`` entry.
+
+    A missing reference file is reported as a single entry. Either way
+    the fix is the same: regenerate with
+    ``python -m repro.tools.clidoc --out docs/cli.md``.
+    """
+    from .cli import build_parser
+    from .clidoc import all_flags, render_cli_doc
+
+    doc_path = root / CLI_DOC
+    if not doc_path.exists():
+        return [f"missing {CLI_DOC} (run `python -m repro.tools.clidoc`)"]
+    text = doc_path.read_text(encoding="utf-8")
+    parser = build_parser()
+    problems = []
+    for command, flags in sorted(all_flags(parser).items()):
+        for flag in sorted(flags):
+            if not re.search(re.escape(flag) + r"(?![\w-])", text):
+                problems.append(f"{command}: {flag}")
+    if text != render_cli_doc(parser):
+        problems.append(
+            f"{CLI_DOC} is stale — regenerate with "
+            "`python -m repro.tools.clidoc --out docs/cli.md`"
+        )
+    return problems
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-docscheck",
@@ -99,14 +151,18 @@ def main(argv: list[str] | None = None) -> int:
     for document, broken in sorted(report.items()):
         for target in broken:
             print(f"BROKEN LINK {document}: {target}", file=sys.stderr)
-    if report:
+    undocumented = check_cli_doc(root)
+    for entry in undocumented:
+        print(f"UNDOCUMENTED CLI FLAG {entry}", file=sys.stderr)
+    if report or undocumented:
         return 1
     total = sum(
         len(iter_links(d.read_text(encoding="utf-8")))
         for d in documents
     )
     print(
-        f"checked {len(documents)} documents, {total} links: all resolve"
+        f"checked {len(documents)} documents, {total} links: all "
+        "resolve; CLI reference covers every parser flag"
     )
     return 0
 

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.tools.clidoc import all_flags, render_cli_doc
+from repro.tools.cli import build_parser
 from repro.tools.docscheck import (
+    check_cli_doc,
     check_file,
     check_tree,
     default_documents,
@@ -64,6 +67,8 @@ class TestRepositoryDocs:
         assert "README.md" in documents
         assert "docs/architecture.md" in documents
         assert "docs/fleet.md" in documents
+        assert "docs/restore.md" in documents
+        assert "docs/cli.md" in documents
 
     def test_all_repository_doc_links_resolve(self):
         assert check_tree(REPO_ROOT) == {}
@@ -78,3 +83,70 @@ class TestRepositoryDocs:
         assert main(["--root", str(tmp_path)]) == 1
         err = capsys.readouterr().err
         assert "BROKEN LINK" in err
+
+
+class TestCliReference:
+    """docs/cli.md is generated from the parser and cannot drift."""
+
+    def test_repo_cli_doc_covers_every_parser_flag(self):
+        assert check_cli_doc(REPO_ROOT) == []
+
+    def test_rendered_doc_contains_every_flag(self):
+        rendered = render_cli_doc()
+        for command, flags in all_flags(build_parser()).items():
+            for flag in flags:
+                assert flag in rendered, f"{command}: {flag} missing"
+
+    def test_missing_flag_is_detected(self, tmp_path):
+        """Removing one flag from the doc must fail the drift check —
+        the guarantee tests/test_docs.py gives every future flag."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        stripped = render_cli_doc().replace("`--quota-bytes`", "`--qb`")
+        (docs / "cli.md").write_text(stripped, encoding="utf-8")
+        missing = check_cli_doc(tmp_path)
+        assert missing[0] == "fleet: --quota-bytes"
+        assert "stale" in missing[-1]
+
+    def test_stale_doc_without_missing_flags_is_detected(self, tmp_path):
+        """Removing a flag from the *parser* side of the contract —
+        i.e. the doc still names a flag that no longer exists, or any
+        help/default text changed — must fail as staleness even though
+        every current flag is still documented."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "cli.md").write_text(
+            render_cli_doc() + "\n| `--retired-flag` | unset | gone |\n",
+            encoding="utf-8",
+        )
+        report = check_cli_doc(tmp_path)
+        assert len(report) == 1 and "stale" in report[0]
+
+    def test_flag_matching_is_whole_word(self, tmp_path):
+        """A documented --admission-backlog-factor must not satisfy a
+        missing --admission: prefixes match only as whole words."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "cli.md").write_text(
+            "`--admission-backlog-factor` only", encoding="utf-8"
+        )
+        missing = check_cli_doc(tmp_path)
+        assert "fleet: --admission" in missing
+        assert "fleet: --admission-backlog-factor" not in missing
+
+    def test_missing_doc_file_is_reported(self, tmp_path):
+        report = check_cli_doc(tmp_path)
+        assert len(report) == 1 and "missing" in report[0]
+
+    def test_cli_entry_point_fails_on_drift(self, tmp_path, capsys):
+        """docscheck's exit status covers the CLI reference too."""
+        (tmp_path / "README.md").write_text("no links here")
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "cli.md").write_text(
+            render_cli_doc().replace("`--quota-bytes`", "`--qb`"),
+            encoding="utf-8",
+        )
+        assert main(["--root", str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "UNDOCUMENTED CLI FLAG" in err
