@@ -531,6 +531,16 @@ class FleetConfig:
     #: Restore-chain length bound under storm-aware retention.
     storm_chain_limit: int = 2
 
+    #: Silent bit-rot probability per PUT-class write (chunk, dense,
+    #: manifest, multipart part): the shared backend is wrapped in a
+    #: :class:`~repro.storage.backends.CrashingBackend` that flips one
+    #: seeded byte of the payload. The write *succeeds* — only digest
+    #: verification at restore/scan time catches the damage, so storms
+    #: over a rotted fleet exercise the resume planner's fallback path.
+    bitrot_prob: float = 0.0
+    #: Seed for the deterministic bit-rot byte flips.
+    bitrot_seed: int = 0xB17F
+
     storage: StorageConfig = field(default_factory=StorageConfig)
     failures: FailureConfig = field(default_factory=FailureConfig)
 
@@ -656,6 +666,10 @@ class FleetConfig:
             )
         _require(
             self.storm_chain_limit >= 1, "storm_chain_limit must be >= 1"
+        )
+        _require(
+            0.0 <= self.bitrot_prob <= 1.0,
+            "bitrot_prob must be in [0, 1]",
         )
 
     @property

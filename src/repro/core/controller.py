@@ -113,10 +113,27 @@ class PendingRestore:
     steps: object  # generator of ReadStep
     next_step: ReadStep | None = None
     report: RestoreReport | None = None
+    #: Resume-plan candidates, newest first; ``target`` is the head.
+    #: The fallback generator may land on a deeper candidate — see
+    #: :attr:`restored_target`.
+    plan: tuple[CheckpointManifest, ...] = ()
 
     @property
     def done(self) -> bool:
         return self.report is not None
+
+    @property
+    def restored_target(self) -> CheckpointManifest:
+        """The manifest the drained restore actually landed on.
+
+        Equal to :attr:`target` unless digest verification failed the
+        newer candidates and the planner fell back down the plan.
+        """
+        assert self.report is not None
+        for manifest in self.plan:
+            if manifest.checkpoint_id == self.report.checkpoint_id:
+                return manifest
+        return self.target
 
     def advance(self) -> ReadStep | None:
         """Submit the announced GET part and announce the next one.
@@ -625,25 +642,33 @@ class CheckNRun:
         is announced and awaiting submission. Callers drain it with
         :meth:`PendingRestore.advance` and then call
         :meth:`finish_restore` — the fleet scheduler interleaves
-        advances from every job recovering in the same storm. Raises
-        :class:`CheckpointNotFoundError` when nothing is restorable.
+        advances from every job recovering in the same storm. The
+        staged reads restore *through* corruption: when digest/CRC
+        verification fails the newest candidate mid-read, the restore
+        falls back down the resume plan to the newest fully-verified
+        chain instead of raising. Raises
+        :class:`CheckpointNotFoundError` when nothing is restorable
+        (and draining raises it when every plan candidate fails).
         """
-        target = self.restorer.latest_valid(self.job_id, at_time_s)
-        if target is None:
+        plan = self.restorer.plan_resume(
+            self.job_id, at_time_s, policy=self.policy
+        )
+        if not plan:
             raise CheckpointNotFoundError(
                 f"job {self.job_id!r} has no valid checkpoint to restore"
             )
-        steps = self.restorer.restore_steps(
+        steps = self.restorer.restore_with_fallback_steps(
             self.trainer.model,
-            target,
+            plan,
             self.manifests,
             reader=self.reader,
             policy=self.policy,
         )
         pending = PendingRestore(
-            checkpoint_id=target.checkpoint_id,
-            target=target,
+            checkpoint_id=plan[0].checkpoint_id,
+            target=plan[0],
             steps=steps,
+            plan=tuple(plan),
         )
         pending.advance()  # prime: resolve the chain, announce part 1
         return pending
@@ -662,8 +687,11 @@ class CheckNRun:
                 "unsubmitted reads"
             )
         report = pending.report
-        target = pending.target
         assert report is not None
+        # The fallback path may have restored a deeper plan candidate
+        # than the announced target; trackers and the interval counter
+        # must follow what actually loaded.
+        target = pending.restored_target
         self.tracker_set.reset_all()
         if not self.policy.reset_tracker_after(target.kind):
             # Tracker accumulates since the baseline: re-mark the rows

@@ -25,25 +25,36 @@ KIND_INCREMENTAL = "incremental"
 
 @dataclass(frozen=True)
 class ChunkRecord:
-    """One stored chunk object of a shard."""
+    """One stored chunk object of a shard.
+
+    ``digest`` is the sha256 hex of the chunk's stored bytes, computed
+    by the writer before the PUT; the restore path re-hashes what it
+    read and refuses the chunk on mismatch. ``None`` on manifests
+    written before digests existed — those chunks fall back to
+    CRC-framing verification only.
+    """
 
     key: str
     row_count: int
     logical_bytes: int
+    digest: str | None = None
 
     def to_dict(self) -> dict:
         return {
             "key": self.key,
             "row_count": self.row_count,
             "logical_bytes": self.logical_bytes,
+            "digest": self.digest,
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "ChunkRecord":
+        digest = data.get("digest")
         return cls(
             key=str(data["key"]),
             row_count=int(data["row_count"]),
             logical_bytes=int(data["logical_bytes"]),
+            digest=None if digest is None else str(digest),
         )
 
 
@@ -106,6 +117,12 @@ class CheckpointManifest:
     shards: tuple[ShardRecord, ...] = ()
     dense_key: str | None = None
     dense_bytes: int = 0
+    #: sha256 hex of the stored dense blob (None pre-digest).
+    dense_digest: str | None = None
+    #: Set by the integrity scanner when any of this checkpoint's
+    #: objects failed verification. A quarantined checkpoint is never a
+    #: restore candidate and does not occupy a retention keep slot.
+    quarantined: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in (KIND_FULL, KIND_INCREMENTAL):
@@ -144,6 +161,8 @@ class CheckpointManifest:
                 "shards": [s.to_dict() for s in self.shards],
                 "dense_key": self.dense_key,
                 "dense_bytes": self.dense_bytes,
+                "dense_digest": self.dense_digest,
+                "quarantined": self.quarantined,
             },
             sort_keys=True,
         )
@@ -152,11 +171,14 @@ class CheckpointManifest:
     def from_json(cls, blob: str | bytes) -> "CheckpointManifest":
         try:
             data = json.loads(blob)
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise CheckpointCorruptError(
                 f"manifest is not valid JSON: {exc}"
             ) from exc
         try:
+            # "shards" is required even when empty: a truncated-but-
+            # valid-JSON manifest must not parse as an empty checkpoint.
+            dense_digest = data.get("dense_digest")
             return cls(
                 checkpoint_id=str(data["checkpoint_id"]),
                 job_id=str(data["job_id"]),
@@ -171,10 +193,14 @@ class CheckpointManifest:
                 reader_state=dict(data.get("reader_state", {})),
                 trainer_progress=dict(data.get("trainer_progress", {})),
                 shards=tuple(
-                    ShardRecord.from_dict(s) for s in data.get("shards", [])
+                    ShardRecord.from_dict(s) for s in data["shards"]
                 ),
                 dense_key=data.get("dense_key"),
                 dense_bytes=int(data.get("dense_bytes", 0)),
+                dense_digest=(
+                    None if dense_digest is None else str(dense_digest)
+                ),
+                quarantined=bool(data.get("quarantined", False)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise CheckpointCorruptError(

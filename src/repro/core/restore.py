@@ -22,6 +22,7 @@ Every chunk is CRC-verified by the frame reader; corruption surfaces as
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,6 +33,8 @@ from ..distributed.clock import SimClock
 from ..errors import (
     CheckpointCorruptError,
     CheckpointNotFoundError,
+    ObjectNotFoundError,
+    RestoreChainBrokenError,
     SerializationError,
 )
 from ..model.dlrm import DLRM
@@ -40,6 +43,7 @@ from ..quant.registry import dequantize_tensor
 from ..serialize.codec import decode_array, decode_payload
 from ..serialize.format import decode_frames
 from ..storage.object_store import ObjectStore
+from ..storage.requests import OP_HEAD
 from .manifest import (
     KIND_INCREMENTAL,
     CheckpointManifest,
@@ -95,6 +99,11 @@ class RestoreReport:
     target_rows_by_table: dict[int, np.ndarray] = field(
         default_factory=dict
     )
+    #: How many newer resume-plan candidates failed verification before
+    #: this restore succeeded (0 = the newest candidate was clean).
+    fallback_depth: int = 0
+    #: Checkpoint ids of the candidates that failed, newest first.
+    failed_chain_ids: tuple[str, ...] = ()
 
     @property
     def duration_s(self) -> float:
@@ -104,9 +113,15 @@ class RestoreReport:
 class CheckpointRestorer:
     """Reads checkpoints back from the object store into live state."""
 
+    #: Manifest keys the last :meth:`list_manifests` call could not
+    #: parse, with the corruption reason (class-level default so
+    #: listing-only instances built without ``__init__`` see it too).
+    skipped_manifests: dict[str, str] = {}
+
     def __init__(self, store: ObjectStore, clock: SimClock) -> None:
         self.store = store
         self.clock = clock
+        self.skipped_manifests = {}
 
     # ------------------------------------------------------------------
     # Manifest discovery
@@ -124,34 +139,110 @@ class CheckpointRestorer:
         return CheckpointManifest.from_json(self.store.get(key))
 
     def list_manifests(self, job_id: str) -> dict[str, CheckpointManifest]:
-        """All stored manifests of a job, keyed by checkpoint id."""
+        """All readable stored manifests of a job, keyed by checkpoint id.
+
+        A manifest blob that fails to parse (bit rot, truncation) is
+        *skipped and recorded* rather than aborting discovery — one
+        corrupt manifest must not hide every valid candidate from the
+        resume planner. Skipped keys land in
+        :attr:`skipped_manifests` (``key -> reason``), refreshed on
+        every call.
+        """
         manifests: dict[str, CheckpointManifest] = {}
+        skipped: dict[str, str] = {}
         for key in self.store.list_keys(f"{job_id}/"):
             if key.endswith("/manifest.json"):
-                manifest = CheckpointManifest.from_json(self.store.get(key))
+                try:
+                    manifest = CheckpointManifest.from_json(
+                        self.store.get(key)
+                    )
+                except CheckpointCorruptError as exc:
+                    skipped[key] = str(exc)
+                    continue
                 manifests[manifest.checkpoint_id] = manifest
+        self.skipped_manifests = skipped
         return manifests
+
+    def _probe_exists(self, key: str) -> bool:
+        """Untimed backend HEAD: does the object exist right now?
+
+        Candidate vetting is controller-side metadata work, not a timed
+        data-plane request — same idiom as the staged writer's
+        overwrite probe and :meth:`ObjectStore.object_size`.
+        """
+        backend = self.store.backend
+        engine = getattr(self.store, "engine", None)
+        if engine is None:
+            return backend.exists(key)
+        return engine.retry_probe(OP_HEAD, lambda: backend.exists(key))
+
+    def _objects_present(self, manifest: CheckpointManifest) -> bool:
+        """Whether every chunk/dense object of one link still exists."""
+        for shard in manifest.shards:
+            for chunk in shard.chunks:
+                if not self._probe_exists(chunk.key):
+                    return False
+        if manifest.dense_key is not None:
+            return self._probe_exists(manifest.dense_key)
+        return True
+
+    def plan_resume(
+        self,
+        job_id: str,
+        at_time_s: float | None = None,
+        policy: CheckpointPolicy | None = None,
+    ) -> list[CheckpointManifest]:
+        """Ordered restore candidates, newest first.
+
+        A checkpoint qualifies when its write had completed by the
+        deadline (``valid_at_s <= at_time``), it is not quarantined, its
+        restore chain resolves with no quarantined link, and every
+        chunk/dense object of the chain still exists (cheap untimed
+        HEAD probes) — a retention-scrubbed or partially-deleted chain
+        is rejected here instead of being discovered mid-restore.
+        Existence says nothing about *content*: bit-rotted objects are
+        only caught by digest/CRC verification during the restore
+        itself, which is why callers restore through the plan (see
+        :meth:`restore_with_fallback_steps`) rather than trusting the
+        head alone.
+        """
+        deadline = self.clock.now if at_time_s is None else at_time_s
+        manifests = self.list_manifests(job_id)
+        chain_policy = policy or FullPolicy()
+        candidates = sorted(
+            (
+                m
+                for m in manifests.values()
+                if m.valid_at_s <= deadline and not m.quarantined
+            ),
+            key=lambda m: (m.interval_index, m.valid_at_s),
+            reverse=True,
+        )
+        plan: list[CheckpointManifest] = []
+        for target in candidates:
+            try:
+                chain = chain_policy.restore_chain(target, manifests)
+            except RestoreChainBrokenError:
+                continue
+            if any(link.quarantined for link in chain):
+                continue
+            if all(self._objects_present(link) for link in chain):
+                plan.append(target)
+        return plan
 
     def latest_valid(
         self, job_id: str, at_time_s: float | None = None
     ) -> CheckpointManifest | None:
-        """Most recent checkpoint whose write had completed by ``at_time``.
+        """Most recent restorable checkpoint as of ``at_time``.
 
         Validity is ``valid_at_s <= at_time``: a checkpoint still being
         written when the job crashed never became valid and is skipped,
         exactly as a missing manifest would be in the real system.
+        Equivalent to the head of :meth:`plan_resume` — quarantined
+        checkpoints and chains with missing objects are skipped too.
         """
-        deadline = self.clock.now if at_time_s is None else at_time_s
-        candidates = [
-            m
-            for m in self.list_manifests(job_id).values()
-            if m.valid_at_s <= deadline
-        ]
-        if not candidates:
-            return None
-        return max(
-            candidates, key=lambda m: (m.interval_index, m.valid_at_s)
-        )
+        plan = self.plan_resume(job_id, at_time_s)
+        return plan[0] if plan else None
 
     # ------------------------------------------------------------------
     # Restore
@@ -197,7 +288,14 @@ class CheckpointRestorer:
         chunk,
         blob: bytes,
     ) -> np.ndarray:
-        """CRC-verify and load one chunk payload; returns its row ids."""
+        """Digest/CRC-verify and load one chunk payload; returns row ids."""
+        if chunk.digest is not None:
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != chunk.digest:
+                raise CheckpointCorruptError(
+                    f"chunk {chunk.key} digest mismatch: stored bytes "
+                    f"hash {actual}, manifest records {chunk.digest}"
+                )
         try:
             meta, frames = decode_frames(blob)
         except SerializationError as exc:
@@ -284,6 +382,15 @@ class CheckpointRestorer:
                 f"checkpoint {manifest.checkpoint_id} has no dense state"
             )
         blob, completed = yield from self._staged_read(manifest.dense_key)
+        if manifest.dense_digest is not None:
+            actual = hashlib.sha256(blob).hexdigest()
+            if actual != manifest.dense_digest:
+                raise CheckpointCorruptError(
+                    f"dense state {manifest.dense_key} of "
+                    f"{manifest.checkpoint_id} digest mismatch: stored "
+                    f"bytes hash {actual}, manifest records "
+                    f"{manifest.dense_digest}"
+                )
         try:
             _, frames = decode_frames(blob)
             state: dict[str, np.ndarray] = {}
@@ -363,6 +470,53 @@ class CheckpointRestorer:
             started_at_s=started,
             finished_at_s=max(finished, self.clock.now),
             target_rows_by_table=target_rows,
+        )
+
+    def restore_with_fallback_steps(
+        self,
+        model: DLRM,
+        plan: list[CheckpointManifest],
+        manifests: dict[str, CheckpointManifest],
+        reader: ReaderMaster | None = None,
+        policy: CheckpointPolicy | None = None,
+    ):
+        """Generator: restore *through* corruption down a resume plan.
+
+        Tries each candidate of ``plan`` (newest first, see
+        :meth:`plan_resume`) with :meth:`restore_steps`; a candidate
+        whose chain turns out corrupt, broken, or missing objects
+        mid-read is abandoned and the next one tried — safe because
+        every chain starts at a full checkpoint, which overwrites any
+        rows a failed attempt partially loaded, and the dense state is
+        reloaded whole. The bytes already read for a failed candidate
+        stay on the simulated link: falling back costs real read
+        traffic, exactly as it would in production. Returns the winning
+        :class:`RestoreReport` with ``fallback_depth`` set; raises
+        :class:`CheckpointNotFoundError` when every candidate fails.
+        """
+        failed: list[str] = []
+        for depth, target in enumerate(plan):
+            try:
+                report = yield from self.restore_steps(
+                    model,
+                    target,
+                    manifests,
+                    reader=reader,
+                    policy=policy,
+                )
+            except (
+                CheckpointCorruptError,
+                RestoreChainBrokenError,
+                ObjectNotFoundError,
+            ):
+                failed.append(target.checkpoint_id)
+                continue
+            report.fallback_depth = depth
+            report.failed_chain_ids = tuple(failed)
+            return report
+        raise CheckpointNotFoundError(
+            "no restorable checkpoint: every resume-plan candidate "
+            f"failed verification ({', '.join(failed) or 'empty plan'})"
         )
 
     def restore(

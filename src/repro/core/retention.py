@@ -113,6 +113,12 @@ class RetentionManager:
         one's last byte lands would leave a window with nothing to
         restore from (the paper deletes "at that stage", i.e. after the
         controller declares the new checkpoint valid, section 4.4).
+        Quarantined checkpoints never occupy a keep slot — a scan
+        already proved them unrestorable, so retaining them would
+        shrink the window of checkpoints that can actually restore.
+        They remain deletable like any other superseded checkpoint
+        (still protected if a kept checkpoint's chain references them,
+        via ``protected_ids``).
 
         Mutates ``manifests`` (removes deleted entries) and the store.
         """
@@ -121,10 +127,14 @@ class RetentionManager:
             key=lambda m: (m.interval_index, m.valid_at_s),
         )
         if now_s is None:
-            valid = ordered
+            valid = [m for m in ordered if not m.quarantined]
             in_flight: list[CheckpointManifest] = []
         else:
-            valid = [m for m in ordered if m.valid_at_s <= now_s]
+            valid = [
+                m
+                for m in ordered
+                if m.valid_at_s <= now_s and not m.quarantined
+            ]
             in_flight = [m for m in ordered if m.valid_at_s > now_s]
         keep = valid[-self.keep_last :] + in_flight
         protected = policy.protected_ids(keep, manifests)

@@ -24,6 +24,7 @@ ids, quantized (or raw fp32) weights, and the optimizer accumulator.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 from typing import Callable, Generator
@@ -430,6 +431,7 @@ class CheckpointWriter:
                     key=key,
                     row_count=int(table_rows.shape[0]),
                     logical_bytes=receipt.logical_bytes,
+                    digest=hashlib.sha256(blob).hexdigest(),
                 )
             )
             logical_total += receipt.logical_bytes
@@ -490,6 +492,7 @@ class CheckpointWriter:
                 shards=tuple(shard_records),
                 dense_key=dense_key(job_id, checkpoint_id),
                 dense_bytes=dense_receipt.logical_bytes,
+                dense_digest=hashlib.sha256(dense_blob).hexdigest(),
             )
 
         mkey = manifest_key(job_id, checkpoint_id)

@@ -75,6 +75,10 @@ class FleetJobResult:
     failed_writes: int
     preempted_writes: int
     wasted_batches: int
+    #: Resume-plan candidates that failed digest/CRC verification
+    #: before the job's restores landed (restore-through-corruption
+    #: fallbacks; see :meth:`CheckpointRestorer.plan_resume`).
+    restore_fallbacks: int
     batches_trained: int
     #: Copied from :attr:`FleetJob.useful_batches` (single source of
     #: the goodput definition).
@@ -125,6 +129,15 @@ class FleetRunReport:
     restore_deferrals: int = 0
     #: Checkpoints forced full by storm-aware retention, fleet-wide.
     baseline_refreshes: int = 0
+    #: Restore-through-corruption fallbacks, fleet-wide: resume-plan
+    #: candidates that failed verification before a restore landed.
+    restore_fallbacks: int = 0
+    #: From-scratch restarts (nothing restorable, or every candidate
+    #: failed verification), fleet-wide.
+    scratch_restarts: int = 0
+    #: PUT-class writes whose payload the armed bit-rot injector
+    #: silently corrupted (0 when ``FleetConfig.bitrot_prob`` is 0).
+    bitrot_injected: int = 0
     #: Transient-failure retries per op class, from the op log's
     #: receipts: ``((op, total_retries), ...)`` over every class that
     #: saw requests.
@@ -178,9 +191,27 @@ def build_fleet(
     specs: list[FleetJobSpec] | None = None,
     on_event: Callable[[FleetEvent], None] | None = None,
 ) -> tuple[FleetScheduler, ObjectStore]:
-    """Wire a shared store + arbiter and a full fleet of jobs."""
+    """Wire a shared store + arbiter and a full fleet of jobs.
+
+    With ``config.bitrot_prob > 0`` the shared backend is wrapped in a
+    bit-rot-armed :class:`~repro.storage.backends.CrashingBackend`, so
+    a seeded fraction of the fleet's writes land silently corrupted
+    and restores must fall back through the resume plan.
+    """
+    backend = None
+    if config.bitrot_prob > 0.0:
+        from ..storage.backends import CrashingBackend
+        from ..storage.factory import make_backend
+
+        backend = CrashingBackend(
+            make_backend(config.storage.backend, config.storage)
+        )
+        backend.arm_bitrot(config.bitrot_prob, config.bitrot_seed)
     store = ObjectStore(
-        config.storage, SimClock(), arbiter=BandwidthArbiter()
+        config.storage,
+        SimClock(),
+        backend=backend,
+        arbiter=BandwidthArbiter(),
     )
     if specs is None:
         specs = sample_fleet_specs(config)
@@ -222,6 +253,7 @@ def summarize_fleet(
                 failed_writes=job.failed_writes,
                 preempted_writes=job.preempted_writes,
                 wasted_batches=job.wasted_batches,
+                restore_fallbacks=job.restore_fallbacks,
                 batches_trained=job.total_batches_trained,
                 useful_batches=job.useful_batches,
                 bytes_logical=stats.bytes_written_logical,
@@ -287,6 +319,15 @@ def summarize_fleet(
         ),
         baseline_refreshes=sum(
             r.baseline_refreshes for r in job_results
+        ),
+        restore_fallbacks=sum(
+            r.restore_fallbacks for r in job_results
+        ),
+        scratch_restarts=sum(
+            r.scratch_restarts for r in job_results
+        ),
+        bitrot_injected=len(
+            getattr(store.backend, "bitrot_injected", ())
         ),
         retries_by_op=retries_by_op,
         part_interleave_splits=part_split_score(puts),
@@ -358,6 +399,9 @@ def format_fleet_report(report: FleetRunReport) -> str:
         f"admission deferrals: {report.admission_deferrals}"
         f"  restore pacing deferrals: {report.restore_deferrals}"
         f"  baseline refreshes: {report.baseline_refreshes}",
+        f"bit-rot injected writes: {report.bitrot_injected}"
+        f"  restore fallbacks: {report.restore_fallbacks}"
+        f"  scratch restarts: {report.scratch_restarts}",
         f"quantize pool (measured): {report.pool_busy_s:.3f} s busy, "
         f"{report.pool_wait_s:.3f} s blocked, "
         f"{report.pool_overlap_s:.3f} s overlapped",
@@ -507,6 +551,12 @@ def format_storm_report(report: FleetRunReport) -> str:
         + f"  |  restore pacing deferrals: {report.restore_deferrals}"
         + f"  |  baseline refreshes: {report.baseline_refreshes}"
     )
+    if report.bitrot_injected or report.restore_fallbacks:
+        lines.append(
+            f"bit-rot injected writes: {report.bitrot_injected}"
+            f"  |  restore fallbacks: {report.restore_fallbacks}"
+            f"  |  scratch restarts: {report.scratch_restarts}"
+        )
     lines.append("")
     header = (
         "tier          jobs  restores  storm  preempt  defer  rdefer"

@@ -218,6 +218,10 @@ class FleetJob:
     wasted_batches: int = 0
     total_batches_trained: int = 0
     scratch_restarts: int = 0
+    #: Resume-plan candidates that failed digest/CRC verification
+    #: before a restore landed (sum of per-restore fallback depths):
+    #: nonzero means the job restored *through* corruption.
+    restore_fallbacks: int = 0
     preempted_writes: int = 0
     storm_crashes: int = 0
     #: A preempted staged write awaiting re-stage (set by the fleet

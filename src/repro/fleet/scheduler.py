@@ -645,7 +645,19 @@ class FleetScheduler:
                     else:
                         entry = tied[0]
                     job, pending, ctx = entry
-                    pending.advance()
+                    try:
+                        pending.advance()
+                    except CheckpointNotFoundError:
+                        # Every resume-plan candidate failed
+                        # verification mid-read: fall back to a
+                        # from-scratch restart, like a job with
+                        # nothing restorable at all.
+                        active.remove(entry)
+                        event = self._finish_recovery(
+                            job, ctx, None, "storm"
+                        )
+                        finished.append((rank, event))
+                        continue
                     if pending.done:
                         active.remove(entry)
                         event = self._finish_recovery(
@@ -876,6 +888,7 @@ class FleetScheduler:
         if pending is not None:
             report = job.controller.finish_restore(pending)
             restored_from: str | None = report.checkpoint_id
+            job.restore_fallbacks += report.fallback_depth
             after = job.model.batches_trained
             gets = self.store.log.transfers(
                 "get", stream=job.job_id
@@ -901,6 +914,7 @@ class FleetScheduler:
                 self._scrub_torn(job, stale_id)
             job.scratch_restarts += 1
             restored_from = None
+            report = None
             after = 0
         job.wasted_batches += max(0, ctx["batches_before"] - after)
         job.batches_left = job.spec.interval_batches
@@ -916,6 +930,9 @@ class FleetScheduler:
             {
                 "cause": cause,
                 "restored_from": restored_from,
+                "fallback_depth": (
+                    report.fallback_depth if report is not None else 0
+                ),
                 "torn_checkpoint": ctx["torn_id"],
                 "torn_chunks": ctx["torn_chunks"],
                 "valid_before": ctx["valid_before"],
@@ -933,6 +950,11 @@ class FleetScheduler:
         ctx = self._crash_bookkeeping(job, cause)
         pending = self._begin_restore_paced(job)
         if pending is not None:
-            while pending.advance() is not None:
-                pass
+            try:
+                while pending.advance() is not None:
+                    pass
+            except CheckpointNotFoundError:
+                # Every resume-plan candidate failed verification
+                # mid-read: recover from scratch instead.
+                pending = None
         self._emit(self._finish_recovery(job, ctx, pending, cause))

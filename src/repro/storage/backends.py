@@ -29,6 +29,8 @@ import os
 from abc import ABC, abstractmethod
 from pathlib import Path
 
+import numpy as np
+
 from ..errors import ObjectNotFoundError, StorageError
 from .requests import (
     OP_DELETE,
@@ -208,14 +210,40 @@ class FileBackend(Backend):
         return sorted(keys)
 
 
+def corrupt_stored_object(
+    backend: Backend, key: str, offset: int = 0, xor: int = 0x01
+) -> None:
+    """Flip one byte of a stored object in place (targeted bit rot).
+
+    Deterministic injection for integrity tests and benches: the byte
+    at ``offset`` (negative offsets count from the end) is XORed with
+    ``xor``. The object's length is unchanged, so only digest/CRC
+    verification can catch the damage.
+    """
+    data = bytearray(backend.read(key))
+    if not data:
+        raise StorageError(f"cannot bit-rot empty object {key!r}")
+    if xor & 0xFF == 0:
+        raise StorageError("xor mask must flip at least one bit")
+    data[offset % len(data)] ^= xor & 0xFF
+    backend.write(key, bytes(data))
+
+
 class CrashingBackend(Backend):
-    """Wraps a backend and kills the process at an armed PUT.
+    """Wraps a backend and injects write-path faults: crashes, bit rot.
 
     ``arm(n)`` makes the *n*-th subsequent PUT-class request raise
     :class:`StorageError` before touching the inner backend — the
     simulation equivalent of a node dying between two PUTs. Crash
     tests use it to leave a checkpoint's chunks on storage without its
     manifest and assert the restore path skips the torn checkpoint.
+
+    ``arm_bitrot(prob, seed)`` instead flips one seeded byte of a
+    PUT-class payload with probability ``prob`` per write — silent
+    media corruption: the write *succeeds* and only integrity
+    verification (sha256 digests, CRC frames) can catch it later.
+    Deterministic for a fixed seed and write sequence; corrupted keys
+    are recorded in :attr:`bitrot_injected`.
 
     The wrapper is transparent to the store: cost models, multipart /
     ranged-GET capabilities and the jitter RNG all delegate to the
@@ -228,6 +256,11 @@ class CrashingBackend(Backend):
         self.inner = inner
         self._writes_until_crash: int | None = None
         self.writes_seen = 0
+        self._bitrot_prob = 0.0
+        self._bitrot_rng: np.random.Generator | None = None
+        #: Keys (chunk/manifest keys, or ``upload_id#partN`` for
+        #: multipart parts) whose payload bytes were silently flipped.
+        self.bitrot_injected: list[str] = []
 
     # -- capability/cost delegation ------------------------------------
 
@@ -260,6 +293,35 @@ class CrashingBackend(Backend):
     def disarm(self) -> None:
         self._writes_until_crash = None
 
+    def arm_bitrot(self, prob: float, seed: int = 0xB17F) -> None:
+        """Silently flip a seeded byte of each PUT with probability ``prob``."""
+        if not 0.0 <= prob <= 1.0:
+            raise StorageError("bit-rot probability must be in [0, 1]")
+        self._bitrot_prob = prob
+        self._bitrot_rng = np.random.default_rng(seed)
+
+    def disarm_bitrot(self) -> None:
+        self._bitrot_prob = 0.0
+        self._bitrot_rng = None
+
+    def corrupt_object(self, key: str, offset: int = 0) -> None:
+        """Targeted bit rot: flip one byte of an already-stored object."""
+        corrupt_stored_object(self.inner, key, offset=offset)
+        self.bitrot_injected.append(key)
+
+    def _maybe_rot(self, key: str, data: bytes) -> bytes:
+        if (
+            self._bitrot_rng is None
+            or len(data) == 0
+            or self._bitrot_rng.random() >= self._bitrot_prob
+        ):
+            return data
+        rotted = bytearray(data)
+        index = int(self._bitrot_rng.integers(len(rotted)))
+        rotted[index] ^= 1 << int(self._bitrot_rng.integers(8))
+        self.bitrot_injected.append(key)
+        return bytes(rotted)
+
     def _count_write(self, key: str) -> None:
         self.writes_seen += 1
         if self._writes_until_crash is not None:
@@ -272,7 +334,7 @@ class CrashingBackend(Backend):
 
     def put_object(self, request: StorageRequest, data: bytes) -> None:
         self._count_write(request.key)
-        self.inner.put_object(request, data)
+        self.inner.put_object(request, self._maybe_rot(request.key, data))
 
     # -- multipart control plane (delegated; parts count as writes) ----
 
@@ -282,8 +344,11 @@ class CrashingBackend(Backend):
     def upload_part(
         self, upload_id: str, part_number: int, data: bytes
     ) -> None:
-        self._count_write(f"{upload_id}#part{part_number}")
-        self.inner.upload_part(upload_id, part_number, data)
+        part_key = f"{upload_id}#part{part_number}"
+        self._count_write(part_key)
+        self.inner.upload_part(
+            upload_id, part_number, self._maybe_rot(part_key, data)
+        )
 
     def complete_multipart(self, upload_id: str) -> None:
         self.inner.complete_multipart(upload_id)

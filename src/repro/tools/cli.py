@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.tools run --store-dir /tmp/ckpts --intervals 4
     python -m repro.tools inspect --store-dir /tmp/ckpts --job job0
     python -m repro.tools scrub --store-dir /tmp/ckpts --job job0
+    python -m repro.tools scan --store-dir /tmp/ckpts --job job0
     python -m repro.tools restore --store-dir /tmp/ckpts --job job0
     python -m repro.tools fleet --jobs 8 --intervals 4
 
@@ -31,6 +32,7 @@ from ..config import (
     experiment_config_to_dict,
 )
 from ..core.controller import CheckNRun
+from ..core.integrity import format_integrity_report, scan_job
 from ..core.restore import CheckpointRestorer
 from ..data.reader import ReaderMaster
 from ..data.synthetic import SyntheticClickDataset
@@ -43,6 +45,7 @@ from ..experiments.common import small_config
 from ..model.dlrm import DLRM
 from ..storage.object_store import ObjectStore
 from .inspect import format_summaries, scrub_job, summarize_job
+from .metrics import fleet_metrics, scan_metrics, write_textfile
 
 JOB_CONFIG_KEY = "{job}/job_config.json"
 
@@ -149,6 +152,25 @@ def cmd_scrub(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_scan(args: argparse.Namespace) -> int:
+    """End-to-end integrity scan: digests, truncation, torn writes.
+
+    Unlike ``scrub`` (chunk CRCs only), ``scan`` verifies every stored
+    object against the manifest's sha256 digests and expected sizes,
+    detects torn checkpoints (objects without a manifest), and
+    quarantines corrupt checkpoints so restore planning skips them.
+    """
+    store = _open_store(args.store_dir, SimClock())
+    report = scan_job(
+        store, args.job, quarantine=not args.no_quarantine
+    )
+    print(format_integrity_report(report))
+    if args.metrics_out is not None:
+        path = write_textfile(args.metrics_out, scan_metrics(report))
+        print(f"wrote {path}")
+    return 0 if report.clean else 1
+
+
 def cmd_restore(args: argparse.Namespace) -> int:
     clock = SimClock()
     store = _open_store(args.store_dir, clock)
@@ -235,6 +257,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scrub.add_argument("--job", default="job0", help="job id to scrub")
     scrub.set_defaults(func=cmd_scrub)
+
+    scan = sub.add_parser(
+        "scan",
+        help="verify digests end-to-end; quarantine corrupt checkpoints",
+    )
+    scan.add_argument(
+        "--store-dir", required=True,
+        help="directory of the file-backed object store",
+    )
+    scan.add_argument("--job", default="job0", help="job id to scan")
+    scan.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report corruption but leave manifests unmodified",
+    )
+    scan.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write scan counters as a Prometheus textfile (.prom)",
+    )
+    scan.set_defaults(func=cmd_scan)
 
     restore = sub.add_parser(
         "restore", help="restore a job's newest checkpoint"
@@ -376,6 +417,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-link read bandwidth in bytes/sec (default 2 GiB/s)",
     )
     fleet.add_argument(
+        "--bitrot-prob", type=float, default=0.0, metavar="P",
+        help="silent-corruption injection: each stored PUT payload is "
+        "bit-flipped with this probability (deterministic under "
+        "--bitrot-seed); restores detect the damage via digests and "
+        "fall back to older checkpoints",
+    )
+    fleet.add_argument(
+        "--bitrot-seed", type=int, default=0xB17F,
+        help="seed for the bit-rot injector's RNG",
+    )
+    fleet.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write fleet counters as a Prometheus textfile (.prom)",
+    )
+    fleet.add_argument(
         "--out", default="benchmarks/results",
         help="directory for fleet_aggregate.txt",
     )
@@ -456,6 +512,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         rack_size=args.rack_size,
         preempt_wait_s=args.preempt_wait,
         preempt_staged_writes=not args.no_preempt,
+        bitrot_prob=args.bitrot_prob,
+        bitrot_seed=args.bitrot_seed,
         storage=storage,
     )
     _, report = run_fleet(config)
@@ -482,6 +540,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
     if args.failure_prob > 0.0 and args.backend == "s3like":
         variant += f", failure prob {args.failure_prob:g}"
+    if args.bitrot_prob > 0.0:
+        variant += f", bit rot {args.bitrot_prob:g}"
     body = "\n".join(
         [
             f"== Fleet run: {args.jobs} jobs x {args.intervals} "
@@ -498,6 +558,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     out_path = out_dir / "fleet_cli_aggregate.txt"
     out_path.write_text(body)
     print(f"wrote {out_path}")
+    if args.metrics_out is not None:
+        metrics_path = write_textfile(
+            args.metrics_out, fleet_metrics(report)
+        )
+        print(f"wrote {metrics_path}")
 
     if args.priority_mix > 0.0 or args.storm is not None:
         storm_body = "\n".join(

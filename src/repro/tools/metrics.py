@@ -1,0 +1,209 @@
+"""Prometheus-textfile metrics for scans and fleet runs.
+
+A minimal renderer for the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ —
+just gauges/counters with optional labels, which is all the node
+exporter's *textfile collector* ingests. No client library dependency:
+the format is a few lines of string assembly, and keeping it in-repo
+means ``repro scan --metrics-out`` and ``repro fleet --metrics-out``
+work in any environment the simulator runs in.
+
+Two builders mirror the operator surfaces that emit metrics:
+
+* :func:`scan_metrics` — one ``repro scan`` pass
+  (:class:`~repro.core.integrity.IntegrityReport`): objects/bytes
+  scanned, corrupt/quarantined/torn counts by job;
+* :func:`fleet_metrics` — one fleet run
+  (:class:`~repro.fleet.experiment.FleetRunReport`): bit-rot
+  injections, restore fallbacks, scratch restarts, restores/failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Metric name prefix for everything this repo exports.
+PREFIX = "repro"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One sample of the text exposition format."""
+
+    name: str
+    value: float
+    help: str = ""
+    type: str = "gauge"  # "gauge" or "counter"
+    labels: tuple[tuple[str, str], ...] = ()
+
+    def sample_line(self) -> str:
+        if self.labels:
+            body = ",".join(
+                f'{k}="{_escape_label(v)}"' for k, v in self.labels
+            )
+            series = f"{self.name}{{{body}}}"
+        else:
+            series = self.name
+        value = (
+            str(int(self.value))
+            if float(self.value).is_integer()
+            else repr(float(self.value))
+        )
+        return f"{series} {value}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_textfile(metrics: list[Metric]) -> str:
+    """Render metrics in exposition format, HELP/TYPE once per name.
+
+    Samples keep their given order within a metric name; names appear
+    in first-seen order, so output is deterministic for a fixed input.
+    """
+    by_name: dict[str, list[Metric]] = {}
+    for metric in metrics:
+        by_name.setdefault(metric.name, []).append(metric)
+    lines: list[str] = []
+    for name, group in by_name.items():
+        head = group[0]
+        if head.help:
+            lines.append(f"# HELP {name} {head.help}")
+        lines.append(f"# TYPE {name} {head.type}")
+        lines.extend(m.sample_line() for m in group)
+    return "\n".join(lines) + "\n"
+
+
+def write_textfile(path: str | Path, metrics: list[Metric]) -> Path:
+    """Write a ``.prom`` textfile; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_textfile(metrics), encoding="utf-8")
+    return target
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+
+
+def scan_metrics(report) -> list[Metric]:
+    """Metrics for one integrity scan (``repro scan``).
+
+    ``report`` is a :class:`~repro.core.integrity.IntegrityReport`;
+    every series carries a ``job`` label so scans over several jobs
+    concatenate into one textfile.
+    """
+    job = (("job", report.job_id),)
+    return [
+        Metric(
+            f"{PREFIX}_scan_checkpoints_scanned",
+            report.checkpoints_scanned,
+            help="Checkpoints with a readable manifest scanned.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_objects_scanned",
+            report.objects_scanned,
+            help="Stored objects (manifests, chunks, dense) scanned.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_bytes_verified",
+            report.bytes_verified,
+            help="Bytes of objects that passed every integrity check.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_corrupt_objects",
+            len(report.issues),
+            help="Objects that failed an integrity check this scan.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_corrupt_checkpoints",
+            len(report.corrupt_checkpoint_ids),
+            help="Checkpoints with at least one corrupt object.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_quarantined_checkpoints",
+            len(report.quarantined_ids),
+            help="Checkpoints newly quarantined by this scan.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_already_quarantined_checkpoints",
+            len(report.already_quarantined_ids),
+            help="Checkpoints a previous scan had already quarantined.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_torn_checkpoints",
+            len(report.torn_checkpoint_ids),
+            help="Checkpoints with stored objects but no manifest.",
+            labels=job,
+        ),
+        Metric(
+            f"{PREFIX}_scan_unreadable_manifests",
+            len(report.unreadable_manifests),
+            help="Manifest objects that failed to parse.",
+            labels=job,
+        ),
+    ]
+
+
+def fleet_metrics(report) -> list[Metric]:
+    """Metrics for one fleet run (``repro fleet``).
+
+    ``report`` is a :class:`~repro.fleet.experiment.FleetRunReport`.
+    """
+    return [
+        Metric(
+            f"{PREFIX}_fleet_jobs",
+            report.num_jobs,
+            help="Jobs sharing the store in this run.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_failures",
+            report.failures,
+            help="Independent failures injected across the fleet.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_restores",
+            report.restores,
+            help="Restores completed across the fleet.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_torn_writes",
+            report.torn_writes,
+            help="Checkpoint writes torn by crashes.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_bitrot_injected_writes",
+            report.bitrot_injected,
+            help="PUT payloads silently corrupted by the bit-rot "
+            "injector.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_restore_fallbacks",
+            report.restore_fallbacks,
+            help="Resume-plan candidates that failed verification "
+            "before a restore landed (restore-through-corruption).",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_scratch_restarts",
+            report.scratch_restarts,
+            help="Recoveries with no restorable checkpoint at all.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_verified_read_bytes",
+            report.total_get_bytes,
+            help="GET-class bytes read (and digest/CRC-verified) over "
+            "the shared link.",
+        ),
+    ]
