@@ -169,6 +169,9 @@ class ClusterConfig:
 #: (see repro.storage.factory.make_backend).
 BACKEND_KINDS = ("memory", "file", "mirrored", "s3like")
 
+#: Valid cache-tier write policies (see repro.storage.cache).
+CACHE_POLICIES = ("write_back", "write_through")
+
 
 @dataclass(frozen=True)
 class BackendConfig:
@@ -229,6 +232,16 @@ class BackendConfig:
     #: its own; note that each retried attempt still consumes a jitter
     #: draw, as a re-issued request would).
     failure_seed: int = 0xFA17
+    # -- near/far cache tier -------------------------------------------
+    #: Capacity of the NVMe-class near tier layered over this backend
+    #: (see repro.storage.cache.CacheTierBackend). 0 disables the tier
+    #: entirely — the factory returns the bare backend and timing stays
+    #: bit-identical to a cache-free run.
+    cache_bytes: int = 0
+    #: Cache write policy: ``write_back`` acks at near-tier cost and
+    #: flushes dirty objects asynchronously; ``write_through`` writes
+    #: the far tier synchronously and only accelerates reads.
+    cache_policy: str = "write_back"
 
     def __post_init__(self) -> None:
         _require(
@@ -272,6 +285,12 @@ class BackendConfig:
                 0.0 <= getattr(self, name) <= 1.0,
                 f"{name} must be in [0, 1]",
             )
+        _require(self.cache_bytes >= 0, "cache_bytes must be >= 0")
+        _require(
+            self.cache_policy in CACHE_POLICIES,
+            f"unknown cache policy {self.cache_policy!r}; "
+            f"valid: {CACHE_POLICIES}",
+        )
 
     @property
     def failure_probs(self) -> dict[str, float]:

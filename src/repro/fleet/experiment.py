@@ -147,6 +147,21 @@ class FleetRunReport:
     #: interleaving the transfer engine provides; 0 on backends
     #: without multipart.
     part_interleave_splits: int = 0
+    #: Near/far cache tier (0/"" when no cache tier is configured):
+    #: capacity, policy, GET hit/miss counters, evictions, asynchronous
+    #: dirty flushes and the end-of-run dirty backlog — the columns the
+    #: ``--cache-tier`` fleet reports and the b02 bench surface.
+    cache_capacity_bytes: int = 0
+    cache_policy: str = ""
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+    cache_evictions: int = 0
+    cache_dirty_flushes: int = 0
+    cache_forced_flushes: int = 0
+    cache_flush_failures: int = 0
+    cache_dirty_backlog: int = 0
+    cache_dirty_bytes: int = 0
     #: Measured (real, not simulated) quantization worker-pool seconds:
     #: busy time, caller-blocked time, and their difference — the wall
     #: time the pool hid behind the writers' own work. Excluded from
@@ -291,7 +306,26 @@ def summarize_fleet(
         if store.ops.receipts(op)
     )
     engine = store.engine
+    from ..storage.cache import find_cache_tier
+
+    cache = find_cache_tier(store.backend)
+    cache_fields = {}
+    if cache is not None:
+        cache_fields = dict(
+            cache_capacity_bytes=cache.capacity_bytes,
+            cache_policy=cache.policy,
+            cache_hits=cache.hits,
+            cache_misses=cache.misses,
+            cache_hit_rate=cache.hit_rate,
+            cache_evictions=cache.evictions,
+            cache_dirty_flushes=cache.dirty_flushes,
+            cache_forced_flushes=cache.forced_flushes,
+            cache_flush_failures=cache.flush_failures,
+            cache_dirty_backlog=cache.dirty_backlog,
+            cache_dirty_bytes=cache.dirty_bytes,
+        )
     return FleetRunReport(
+        **cache_fields,
         jobs=tuple(job_results),
         duration_s=duration,
         total_put_bytes_logical=sum(
@@ -406,6 +440,19 @@ def format_fleet_report(report: FleetRunReport) -> str:
         f"{report.pool_wait_s:.3f} s blocked, "
         f"{report.pool_overlap_s:.3f} s overlapped",
     ]
+    if report.cache_capacity_bytes > 0:
+        lines += [
+            f"cache tier ({report.cache_policy}, "
+            f"{report.cache_capacity_bytes / 1024:.0f} KiB): "
+            f"hit rate {report.cache_hit_rate:.3f} "
+            f"(hits={report.cache_hits} misses={report.cache_misses})",
+            f"cache evictions: {report.cache_evictions}"
+            f"  dirty flushes: {report.cache_dirty_flushes}"
+            f"  forced flushes: {report.cache_forced_flushes}"
+            f"  flush failures: {report.cache_flush_failures}"
+            f"  dirty backlog: {report.cache_dirty_backlog}"
+            f" ({report.cache_dirty_bytes / 1024:.0f} KiB)",
+        ]
     if report.bandwidth_series:
         # Write vs read link load per window, attributed by op class.
         lines += [
@@ -556,6 +603,14 @@ def format_storm_report(report: FleetRunReport) -> str:
             f"bit-rot injected writes: {report.bitrot_injected}"
             f"  |  restore fallbacks: {report.restore_fallbacks}"
             f"  |  scratch restarts: {report.scratch_restarts}"
+        )
+    if report.cache_capacity_bytes > 0:
+        lines.append(
+            f"cache tier ({report.cache_policy}): "
+            f"hit rate {report.cache_hit_rate:.3f}"
+            f"  |  cache evictions: {report.cache_evictions}"
+            f"  |  dirty flushes: {report.cache_dirty_flushes}"
+            f"  |  dirty backlog: {report.cache_dirty_backlog}"
         )
     lines.append("")
     header = (

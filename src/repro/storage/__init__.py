@@ -30,6 +30,15 @@ from .bandwidth import (
     projected_queue_delay_s,
     transfer_time_s,
 )
+from .cache import (
+    CACHE_POLICIES,
+    POLICY_WRITE_BACK,
+    POLICY_WRITE_THROUGH,
+    CacheTierBackend,
+    CacheTierStats,
+    find_cache_tier,
+    nvme_costs,
+)
 from .engine import (
     ADMISSION_MODES,
     AdmissionController,
@@ -65,6 +74,13 @@ from .requests import (
 
 __all__ = [
     "ADMISSION_MODES",
+    "CACHE_POLICIES",
+    "POLICY_WRITE_BACK",
+    "POLICY_WRITE_THROUGH",
+    "CacheTierBackend",
+    "CacheTierStats",
+    "find_cache_tier",
+    "nvme_costs",
     "AdmissionController",
     "AdmissionDecision",
     "DATA_OPS",

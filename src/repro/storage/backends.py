@@ -284,6 +284,19 @@ class CrashingBackend(Backend):
     def rng(self):
         return getattr(self.inner, "rng", None)
 
+    def cost_model(self, op: str, key: str, nbytes: int = 0):
+        """Per-request pricing delegates to the inner backend (the
+        cache tier's hit/miss refinement survives being wrapped)."""
+        resolver = getattr(self.inner, "cost_model", None)
+        if resolver is None:
+            return None
+        return resolver(op, key, nbytes)
+
+    def attach_engine(self, engine) -> None:
+        attach = getattr(self.inner, "attach_engine", None)
+        if attach is not None:
+            attach(engine)
+
     def arm(self, writes_until_crash: int) -> None:
         """Crash on the ``writes_until_crash``-th PUT from now (1-based)."""
         if writes_until_crash < 1:

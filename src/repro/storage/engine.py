@@ -301,13 +301,14 @@ class StagedPut:
     def _submit_single(self) -> OpReceipt:
         """One PUT request: latency + bytes, serialised on the link."""
         store = self.store
-        cost = store.costs.for_op(OP_PUT)
+        cost = store.cost_for(OP_PUT, self.key, self.logical_bytes)
         request = StorageRequest(
             OP_PUT, self.key, self.logical_bytes, stream=self.stream
         )
         _, retries, penalty, latency = self.engine.attempt_request(
             OP_PUT,
             lambda: store.backend.put_object(request, self.data),
+            cost=cost,
         )
         duration = penalty + latency + cost.transfer_s(self.physical_bytes)
         span = store.timeline.submit(
@@ -355,7 +356,7 @@ class StagedPut:
         """
         store = self.store
         backend = store.backend
-        cost = store.costs.for_op(OP_PUT)
+        cost = store.cost_for(OP_PUT, self.key, self.logical_bytes)
         replication = store.config.replication_factor
         fanout = max(1, backend.fanout)
         if self._next == 0:
@@ -374,6 +375,7 @@ class StagedPut:
         _, retries, penalty, latency = self.engine.attempt_request(
             OP_PUT,
             lambda: backend.upload_part(upload_id, number, chunk),
+            cost=cost,
         )
         self._retries += retries
         physical = part.nbytes * replication
@@ -403,7 +405,7 @@ class StagedPut:
         # The completion request publishes the object: one more
         # PUT-class latency, control-plane only (no link bytes).
         _, retries, penalty, latency = self.engine.attempt_request(
-            OP_PUT, lambda: backend.complete_multipart(upload_id)
+            OP_PUT, lambda: backend.complete_multipart(upload_id), cost=cost
         )
         self._retries += retries
         self._upload_id = None
@@ -589,12 +591,12 @@ class StagedGet:
     def _submit_single(self) -> OpReceipt:
         """One GET request: latency + bytes, serialised on the link."""
         store = self.store
-        cost = store.costs.for_op(OP_GET)
+        cost = store.cost_for(OP_GET, self.key)
         request = StorageRequest(
             OP_GET, self.key, stream=self.stream, byte_range=self.byte_range
         )
         data, retries, penalty, latency = self.engine.attempt_request(
-            OP_GET, lambda: store.backend.get_object(request)
+            OP_GET, lambda: store.backend.get_object(request), cost=cost
         )
         duration = penalty + latency + cost.transfer_s(len(data))
         span = store.timeline.submit(
@@ -626,7 +628,7 @@ class StagedGet:
         """One ranged sub-GET; lanes overlap request latencies exactly
         as :class:`StagedPut` parts do on the write side."""
         store = self.store
-        cost = store.costs.for_op(OP_GET)
+        cost = store.cost_for(OP_GET, self.key)
         fanout = max(1, store.backend.fanout)
         if self._next == 0:
             self._started = max(self._issued, store.timeline.free_at)
@@ -638,7 +640,7 @@ class StagedGet:
             OP_GET, self.key, stream=self.stream, byte_range=(start, stop)
         )
         chunk, retries, penalty, latency = self.engine.attempt_request(
-            OP_GET, lambda: store.backend.get_object(request)
+            OP_GET, lambda: store.backend.get_object(request), cost=cost
         )
         self._retries += retries
         lane = index % fanout
@@ -771,7 +773,7 @@ class TransferEngine:
     # -- retry / backoff -----------------------------------------------
 
     def attempt_request(
-        self, op: str, call: Callable[[], T]
+        self, op: str, call: Callable[[], T], cost=None
     ) -> tuple[T, int, float, float]:
         """Issue one backend request through the retry/backoff loop.
 
@@ -782,8 +784,15 @@ class TransferEngine:
         latency — callers add both to the op's timed duration. Raises
         :class:`RetriesExhaustedError` once ``max_retries`` re-issues
         all failed transiently.
+
+        ``cost`` overrides the op-class cost model the request's
+        latency draws from — callers that price per *request* (a cache
+        tier's hit/miss pricing via ``store.cost_for``, the cache's
+        far-tier flushes) pass the resolved model; ``None`` keeps the
+        store-level suite.
         """
-        cost = self.store.costs.for_op(op)
+        if cost is None:
+            cost = self.store.costs.for_op(op)
         rng = self.store._rng
         retries = 0
         penalty = 0.0

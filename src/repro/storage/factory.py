@@ -12,7 +12,9 @@ from __future__ import annotations
 from ..config import BackendConfig, StorageConfig
 from ..errors import ConfigError
 from .backends import Backend, FileBackend, InMemoryBackend, MirroredBackend
+from .cache import CacheTierBackend
 from .remote import RemoteObjectBackend, s3like_costs
+from .requests import OpCostSuite
 
 
 def make_backend(
@@ -25,11 +27,38 @@ def make_backend(
     kind streams bytes at (its request latencies come from the backend
     config); in-process kinds ignore it and keep the store's legacy
     config-derived timing.
+
+    When ``cache_bytes > 0``, the configured backend becomes the *far*
+    tier of a :class:`~repro.storage.cache.CacheTierBackend`; with
+    ``cache_bytes = 0`` the bare backend is returned untouched, so a
+    cache-free config times bit-identically to the seed.
     """
     storage = storage_config if storage_config is not None else StorageConfig()
     config = (
         backend_config if backend_config is not None else storage.backend
     )
+    inner = _make_far_backend(config, storage)
+    if config.cache_bytes <= 0:
+        return inner
+    # In-process far tiers carry costs=None (they defer to the store's
+    # config-derived suite); the cache needs the far price table up
+    # front, so derive the same suite here.
+    far_costs = (
+        inner.costs
+        if inner.costs is not None
+        else OpCostSuite.from_storage_config(storage)
+    )
+    return CacheTierBackend(
+        inner,
+        capacity_bytes=config.cache_bytes,
+        policy=config.cache_policy,
+        far_costs=far_costs,
+    )
+
+
+def _make_far_backend(
+    config: BackendConfig, storage: StorageConfig
+) -> Backend:
     if config.kind == "memory":
         return InMemoryBackend()
     if config.kind == "file":

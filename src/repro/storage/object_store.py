@@ -130,6 +130,11 @@ class ObjectStore:
         #: ranged fan-out, retry/backoff, and the quantization worker
         #: pool all live here.
         self.engine = TransferEngine(self)
+        # Backends that run asynchronous work of their own (the cache
+        # tier's dirty flushes) borrow the engine's retry/backoff loop.
+        attach = getattr(backend, "attach_engine", None)
+        if attach is not None:
+            attach(self.engine)
         self._record_capacity(clock.now)
 
     # ------------------------------------------------------------------
@@ -167,6 +172,24 @@ class ObjectStore:
     # ------------------------------------------------------------------
     # Cost helpers
     # ------------------------------------------------------------------
+
+    def cost_for(self, op: str, key: str, nbytes: int = 0):
+        """Resolve the cost model for one specific request.
+
+        Backends that price per *request* rather than per op class — a
+        cache tier whose GET cost depends on whether ``key`` is
+        near-resident — expose a ``cost_model(op, key, nbytes)`` hook;
+        everything else falls through to the store-level suite (the
+        very same :class:`~repro.storage.requests.OpCostModel` objects,
+        so timing without such a backend is bit-identical to pricing
+        via ``self.costs``).
+        """
+        resolver = getattr(self.backend, "cost_model", None)
+        if resolver is not None:
+            model = resolver(op, key, nbytes)
+            if model is not None:
+                return model
+        return self.costs.for_op(op)
 
     def predict_put_duration(self, logical_bytes: int) -> float:
         """Expected single-shot PUT wall time for a payload size.
@@ -443,7 +466,9 @@ class ObjectStore:
         """HEAD probe: is the key present?"""
         request = StorageRequest(OP_HEAD, key, stream=stream)
         present, retries, penalty, latency = self.engine.attempt_request(
-            OP_HEAD, lambda: self.backend.head_object(request)
+            OP_HEAD,
+            lambda: self.backend.head_object(request),
+            cost=self.cost_for(OP_HEAD, key),
         )
         self._record_op(
             OP_HEAD,

@@ -417,6 +417,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared-link read bandwidth in bytes/sec (default 2 GiB/s)",
     )
     fleet.add_argument(
+        "--cache-tier", action="store_true",
+        help="layer an NVMe-class near tier (a write-back/write-through "
+        "cache) over the shared backend; restores hit the near tier on "
+        "a cache hit and spill to the far tier on a miss",
+    )
+    fleet.add_argument(
+        "--cache-bytes", type=int, default=1024 * 1024, metavar="BYTES",
+        help="near-tier capacity when --cache-tier is set",
+    )
+    fleet.add_argument(
+        "--cache-policy", choices=["write_back", "write_through"],
+        default="write_back",
+        help="cache write policy: write_back acks at near-tier cost and "
+        "flushes dirty objects asynchronously; write_through writes the "
+        "far tier synchronously",
+    )
+    fleet.add_argument(
         "--bitrot-prob", type=float, default=0.0, metavar="P",
         help="silent-corruption injection: each stored PUT payload is "
         "bit-flipped with this probability (deterministic under "
@@ -491,6 +508,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             range_get_bytes=args.range_get,
             put_failure_prob=args.failure_prob,
             get_failure_prob=args.failure_prob,
+            cache_bytes=args.cache_bytes if args.cache_tier else 0,
+            cache_policy=args.cache_policy,
         ),
         **storage_kwargs,
     )
@@ -540,6 +559,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         )
     if args.failure_prob > 0.0 and args.backend == "s3like":
         variant += f", failure prob {args.failure_prob:g}"
+    if args.cache_tier:
+        variant += (
+            f", cache {args.cache_policy} ({args.cache_bytes} B)"
+        )
     if args.bitrot_prob > 0.0:
         variant += f", bit rot {args.bitrot_prob:g}"
     body = "\n".join(

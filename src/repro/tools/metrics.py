@@ -206,4 +206,36 @@ def fleet_metrics(report) -> list[Metric]:
             help="GET-class bytes read (and digest/CRC-verified) over "
             "the shared link.",
         ),
+        Metric(
+            f"{PREFIX}_fleet_cache_capacity_bytes",
+            report.cache_capacity_bytes,
+            help="Near-tier cache capacity (0 = no cache tier).",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_cache_hits",
+            report.cache_hits,
+            help="GET requests served from the near cache tier.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_cache_misses",
+            report.cache_misses,
+            help="GET requests that spilled to the far tier.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_cache_evictions",
+            report.cache_evictions,
+            help="Objects evicted from the near tier under capacity "
+            "pressure.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_cache_dirty_flushes",
+            report.cache_dirty_flushes,
+            help="Dirty objects flushed asynchronously to the far tier "
+            "(write-back policy).",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_cache_dirty_backlog",
+            report.cache_dirty_backlog,
+            help="Dirty objects still unflushed at end of run.",
+        ),
     ]

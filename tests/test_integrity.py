@@ -462,9 +462,18 @@ class TestMetricsTextfile:
             restore_fallbacks=2,
             scratch_restarts=1,
             total_get_bytes=4096,
+            cache_capacity_bytes=65536,
+            cache_hits=7,
+            cache_misses=3,
+            cache_evictions=4,
+            cache_dirty_flushes=6,
+            cache_dirty_backlog=2,
         )
         text = render_textfile(fleet_metrics(report))
         assert "repro_fleet_bitrot_injected_writes 5" in text
         assert "repro_fleet_restore_fallbacks 2" in text
         assert "repro_fleet_scratch_restarts 1" in text
         assert "repro_fleet_verified_read_bytes 4096" in text
+        assert "repro_fleet_cache_capacity_bytes 65536" in text
+        assert "repro_fleet_cache_hits 7" in text
+        assert "repro_fleet_cache_dirty_backlog 2" in text

@@ -1,0 +1,186 @@
+"""Timing invariance: cache disabled == seed behaviour, bit for bit.
+
+The cache tier must be pay-for-what-you-use: with ``cache_bytes=0``
+(the default; the CLI without ``--cache-tier``) the factory returns
+the bare backend, the store prices every request off the very same
+:class:`~repro.storage.requests.OpCostModel` objects it always did,
+and a fleet run produces a report bit-identical to one configured
+without any mention of the cache. These tests pin each link of that
+chain — class identity, cost-object identity, end-to-end report
+equality — plus the converse: *enabling* the cache visibly changes
+the report, so the comparator is not vacuous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import BackendConfig, FleetConfig, StorageConfig
+from repro.distributed.clock import SimClock
+from repro.experiments import build_experiment, small_config
+from repro.fleet.experiment import format_fleet_report, run_fleet
+from repro.storage.backends import InMemoryBackend, MirroredBackend
+from repro.storage.cache import CacheTierBackend, find_cache_tier
+from repro.storage.factory import make_backend
+from repro.storage.object_store import ObjectStore
+from repro.storage.remote import RemoteObjectBackend
+from repro.storage.requests import OP_CLASSES
+
+
+class TestFactoryInvariance:
+    """cache_bytes=0 must return the exact bare backend class."""
+
+    @pytest.mark.parametrize(
+        "kind, expected",
+        [
+            ("memory", InMemoryBackend),
+            ("mirrored", MirroredBackend),
+            ("s3like", RemoteObjectBackend),
+        ],
+    )
+    def test_zero_cache_bytes_returns_bare_backend(self, kind, expected):
+        backend = make_backend(BackendConfig(kind=kind, cache_bytes=0))
+        assert type(backend) is expected
+        assert find_cache_tier(backend) is None
+
+    def test_nonzero_cache_bytes_wraps_far_tier(self):
+        backend = make_backend(
+            BackendConfig(kind="s3like", cache_bytes=1 << 16)
+        )
+        assert isinstance(backend, CacheTierBackend)
+        assert isinstance(backend.far, RemoteObjectBackend)
+        # The far price table is the remote backend's own suite.
+        assert backend.far_costs is backend.far.costs
+
+    def test_in_process_far_tier_gets_config_derived_costs(self):
+        storage = StorageConfig(
+            backend=BackendConfig(kind="memory", cache_bytes=1 << 16)
+        )
+        backend = make_backend(storage.backend, storage)
+        assert isinstance(backend, CacheTierBackend)
+        # InMemoryBackend carries costs=None; the factory must hand the
+        # cache the same config-derived suite the store would use.
+        assert backend.far_costs.put.seconds_per_byte > 0
+
+    def test_config_rejects_bad_cache_settings(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            BackendConfig(cache_bytes=-1)
+        with pytest.raises(ConfigError):
+            BackendConfig(cache_bytes=10, cache_policy="write_around")
+
+
+class TestCostPathInvariance:
+    """Without a cache, per-request pricing is the seed's pricing —
+    the *same objects*, so every jitter/tail RNG draw is identical."""
+
+    @pytest.mark.parametrize("kind", ["memory", "s3like"])
+    def test_cost_for_returns_identical_objects(self, kind):
+        store = ObjectStore(
+            StorageConfig(backend=BackendConfig(kind=kind, cache_bytes=0)),
+            SimClock(),
+        )
+        assert find_cache_tier(store.backend) is None
+        for op in OP_CLASSES:
+            assert store.cost_for(op, "some/key", 123) is (
+                store.costs.for_op(op)
+            )
+
+    def test_cached_store_prices_hit_and_miss_differently(self):
+        store = ObjectStore(
+            StorageConfig(
+                backend=BackendConfig(kind="memory", cache_bytes=1 << 16)
+            ),
+            SimClock(),
+        )
+        tier = find_cache_tier(store.backend)
+        assert tier is not None
+        store.put("warm", b"x" * 64)
+        miss = store.cost_for("GET", "cold")
+        hit = store.cost_for("GET", "warm")
+        assert hit is tier.near_costs.get
+        assert miss is tier.far_costs.get
+        assert hit is not miss
+
+
+class TestFleetReportInvariance:
+    def _config(self, **backend_kw) -> FleetConfig:
+        return FleetConfig(
+            num_jobs=3,
+            intervals_per_job=2,
+            seed=0xCAFE,
+            storage=StorageConfig(backend=BackendConfig(**backend_kw)),
+        )
+
+    def test_cache_disabled_report_is_bit_identical(self):
+        """A config that never mentions the cache and one that
+        explicitly disables it produce *equal* FleetRunReports —
+        every timing, byte count and retry tally included."""
+        _, baseline = run_fleet(FleetConfig(num_jobs=3, seed=0xCAFE,
+                                            intervals_per_job=2))
+        _, disabled = run_fleet(self._config(cache_bytes=0))
+        assert baseline == disabled
+        assert disabled.cache_capacity_bytes == 0
+        assert "cache tier" not in format_fleet_report(disabled)
+
+    def test_enabling_the_cache_is_visible(self):
+        """The comparator above is not vacuous: turning the cache on
+        changes the report (cache columns populate, and write-back
+        acks shift timings)."""
+        _, baseline = run_fleet(self._config(cache_bytes=0))
+        _, cached = run_fleet(
+            self._config(cache_bytes=256 * 1024, cache_policy="write_back")
+        )
+        assert cached != baseline
+        assert cached.cache_capacity_bytes == 256 * 1024
+        assert cached.cache_policy == "write_back"
+        # Checkpoint writes are all PUT traffic, so the write-back
+        # counters must have moved even in a run with no restores.
+        assert cached.cache_dirty_flushes + cached.cache_dirty_backlog > 0
+        text = format_fleet_report(cached)
+        assert "cache tier (write_back, 256 KiB)" in text
+        assert "dirty flushes:" in text
+
+    def test_report_field_layout_keeps_seed_fields_first(self):
+        """The cache columns were appended with defaults — positional
+        construction of the seed-era fields still works, so recorded
+        baselines comparing field-by-field stay meaningful."""
+        fields = [
+            f.name
+            for f in dataclasses.fields(
+                run_fleet(self._config(cache_bytes=0))[1]
+            )
+        ]
+        assert fields.index("cache_capacity_bytes") > fields.index(
+            "retries_by_op"
+        )
+
+
+class TestExperimentTimingInvariance:
+    def test_factory_path_times_like_direct_construction(self):
+        """The seed built its backend directly; the factory (cache
+        disabled) must reproduce its run timings exactly."""
+        config = small_config(
+            num_tables=3,
+            rows_per_table=512,
+            embedding_dim=8,
+            batch_size=32,
+            interval_batches=5,
+            num_nodes=1,
+            devices_per_node=2,
+        )
+        via_factory = build_experiment(config)
+        direct = build_experiment(config, backend=InMemoryBackend())
+        via_factory.controller.run_intervals(2)
+        direct.controller.run_intervals(2)
+        assert via_factory.clock.now == direct.clock.now
+        assert {
+            m.checkpoint_id: m.valid_at_s
+            for m in via_factory.controller.manifests.values()
+        } == {
+            m.checkpoint_id: m.valid_at_s
+            for m in direct.controller.manifests.values()
+        }
