@@ -22,7 +22,7 @@ from ..errors import CheckpointError
 from ..model.dlrm import DLRM
 from ..storage.object_store import ObjectStore
 from .manifest import CheckpointManifest
-from .restore import CheckpointRestorer
+from .restore import CheckpointRestorer, _drain
 
 
 @dataclass(frozen=True)
@@ -73,47 +73,87 @@ class OnlinePublisher:
         self._bootstrapped = False
 
     def pending(self) -> list[CheckpointManifest]:
-        """Valid manifests not yet applied, oldest first."""
-        manifests = self.restorer.list_manifests(self.job_id)
+        """Publishable manifests not yet applied, oldest first.
+
+        Candidates come from the resume planner
+        (:meth:`~repro.core.restore.CheckpointRestorer.plan_resume`)
+        rather than the raw manifest listing: a quarantined checkpoint,
+        a chain with a quarantined link, or a chain missing objects must
+        never reach an inference replica, no matter how new it is. A
+        later scan that quarantines the bad link re-admits descendants
+        only once a fresh full checkpoint re-anchors their chain.
+        """
+        plan = self.restorer.plan_resume(self.job_id)
         fresh = [
-            m
-            for m in manifests.values()
-            if m.valid_at_s <= self.clock.now
-            and m.checkpoint_id not in self._applied
+            m for m in plan if m.checkpoint_id not in self._applied
         ]
         return sorted(fresh, key=lambda m: (m.interval_index, m.valid_at_s))
 
-    def poll(self) -> list[PublishEvent]:
-        """Apply every newly valid checkpoint; returns the events."""
+    def poll_steps(self):
+        """Generator: apply every newly publishable checkpoint.
+
+        The staged form of :meth:`poll` — yields a
+        :class:`~repro.core.restore.ReadStep` before every GET part of
+        the applies, so a driver co-simulating other link traffic can
+        interleave publish reads at part granularity instead of letting
+        one poll hold the link for a whole chain. Returns the list of
+        :class:`PublishEvent`\\ s via ``StopIteration.value``.
+        """
         events: list[PublishEvent] = []
         manifests = self.restorer.list_manifests(self.job_id)
         for manifest in self.pending():
             if not self._bootstrapped:
                 # First publish: the replica holds no trained state, so
                 # the full restore chain must be applied.
-                report = self.restorer.restore(
-                    self.replica, manifest, manifests
+                report = yield from self.restorer.restore_steps(
+                    self.replica,
+                    manifest,
+                    manifests,
+                    on_chunk=self._on_chunk,
                 )
                 bytes_read = report.bytes_read
+                applied_at = report.finished_at_s
                 self._applied.update(report.chain_ids)
                 self._bootstrapped = True
             else:
-                bytes_read = self.restorer.apply_single(
-                    self.replica, manifest
+                bytes_read, applied_at = yield from (
+                    self.restorer.apply_single_steps(
+                        self.replica, manifest, on_chunk=self._on_chunk
+                    )
                 )
                 self._applied.add(manifest.checkpoint_id)
+            applied_at = max(applied_at, self.clock.now)
             event = PublishEvent(
                 checkpoint_id=manifest.checkpoint_id,
                 kind=manifest.kind,
-                applied_at_s=self.clock.now,
+                applied_at_s=applied_at,
                 bytes_read=bytes_read,
-                staleness_s=self.clock.now - manifest.created_at_s,
+                staleness_s=applied_at - manifest.created_at_s,
             )
             events.append(event)
             self.stats.events.append(event)
             self.stats.publishes += 1
             self.stats.bytes_read += bytes_read
+            self._published(manifest, event)
         return events
+
+    def poll(self) -> list[PublishEvent]:
+        """Apply every newly publishable checkpoint; returns the events.
+
+        Drains :meth:`poll_steps` immediately — timing-identical to
+        uninterrupted whole-chain reads on the shared timeline.
+        """
+        return _drain(self.poll_steps())
+
+    # -- subclass hooks (the serving plane extends these) --------------
+
+    def _on_chunk(self, manifest, shard_record, chunk, rows) -> None:
+        """Called after each applied chunk decodes (row ids included)."""
+
+    def _published(
+        self, manifest: CheckpointManifest, event: PublishEvent
+    ) -> None:
+        """Called once per checkpoint applied to the replica."""
 
     def require_fresh(self, max_staleness_s: float) -> None:
         """Assert the replica's state is recent enough to serve.

@@ -32,6 +32,7 @@ from ..data.state import ReaderState
 from ..distributed.clock import SimClock
 from ..errors import (
     CheckpointCorruptError,
+    CheckpointError,
     CheckpointNotFoundError,
     ObjectNotFoundError,
     RestoreChainBrokenError,
@@ -59,6 +60,16 @@ def _drain(steps):
             next(steps)
         except StopIteration as stop:
             return stop.value
+
+
+#: Default chunk-read order: exactly the manifest's stored layout.
+ORDER_MANIFEST = "manifest"
+#: CPR-style priority restore: within each chain link, chunks holding
+#: hot rows are read first (and the dense state up front), so training
+#: or serving can resume before the cold tail lands.
+ORDER_HOT_FIRST = "hot_first"
+
+RESTORE_ORDERS = (ORDER_MANIFEST, ORDER_HOT_FIRST)
 
 
 @dataclass(frozen=True)
@@ -104,10 +115,21 @@ class RestoreReport:
     fallback_depth: int = 0
     #: Checkpoint ids of the candidates that failed, newest first.
     failed_chain_ids: tuple[str, ...] = ()
+    #: When the *hot* working set was fully restored — dense state plus
+    #: every hot chunk of the chain. Under ``order="hot_first"`` this
+    #: lands before the cold tail and marks the moment training (or
+    #: serving) could process its first batch (CPR-style partial
+    #: restore); under the default order it equals ``finished_at_s``.
+    first_batch_ready_s: float = 0.0
 
     @property
     def duration_s(self) -> float:
         return self.finished_at_s - self.started_at_s
+
+    @property
+    def time_to_first_batch_s(self) -> float:
+        """Elapsed time until the hot set (and dense state) was loaded."""
+        return self.first_batch_ready_s - self.started_at_s
 
 
 class CheckpointRestorer:
@@ -326,49 +348,115 @@ class CheckpointRestorer:
         model.load_table_rows(table_id, rows, weights, accum)
         return rows
 
+    @staticmethod
+    def _chunk_plan(
+        manifest: CheckpointManifest,
+        order: str,
+        hot_rows: dict[int, np.ndarray] | None,
+    ) -> list[tuple[object, object, bool]]:
+        """Ordered ``(shard_record, chunk, is_hot)`` reads of one link.
+
+        Hotness is decided without touching payloads: a *full* link's
+        chunks cover contiguous row ranges recoverable from cumulative
+        ``row_count`` (the writer chunks each shard's rows in order), so
+        a chunk is hot when its range intersects the tracker-supplied
+        hot set. An *incremental* link's chunks hold exactly the rows
+        the tracker marked modified since the base — the definition of
+        the hot working set — so every incremental chunk is hot. Under
+        ``order="hot_first"`` hot chunks sort first (densest hot-row
+        overlap leading, stable otherwise); the manifest order is kept
+        bit-identical for the default.
+        """
+        entries: list[tuple[int, object, object, bool]] = []
+        for shard_record in manifest.shards:
+            cursor = shard_record.row_start
+            for chunk in shard_record.chunks:
+                if manifest.kind == KIND_INCREMENTAL:
+                    overlap = int(chunk.row_count)
+                    is_hot = True
+                else:
+                    table_hot = (hot_rows or {}).get(
+                        shard_record.table_id
+                    )
+                    if table_hot is None or len(table_hot) == 0:
+                        overlap = 0
+                    else:
+                        hot = np.asarray(table_hot)
+                        overlap = int(
+                            np.count_nonzero(
+                                (hot >= cursor)
+                                & (hot < cursor + chunk.row_count)
+                            )
+                        )
+                    is_hot = overlap > 0
+                entries.append((overlap, shard_record, chunk, is_hot))
+                cursor += chunk.row_count
+        if order == ORDER_HOT_FIRST:
+            entries.sort(key=lambda e: -e[0])  # stable: ties keep layout
+        return [(s, c, h) for _, s, c, h in entries]
+
     def _apply_manifest_steps(
-        self, model: DLRM, manifest: CheckpointManifest
+        self,
+        model: DLRM,
+        manifest: CheckpointManifest,
+        order: str = ORDER_MANIFEST,
+        hot_rows: dict[int, np.ndarray] | None = None,
+        on_chunk=None,
     ):
         """Generator: load one manifest's chunks through staged reads.
 
-        Returns (bytes_read, chunks_read, rows_restored, rows_by_table,
-        last_completed_s).
+        ``on_chunk(manifest, shard_record, chunk, rows)`` fires after
+        each chunk decodes — the serving publisher uses it to maintain
+        its row locator. Returns (bytes_read, chunks_read,
+        rows_restored, rows_by_table, last_completed_s,
+        hot_completed_s) where ``hot_completed_s`` is when the last
+        *hot* chunk landed (the manifest start time if none were hot).
         """
         bytes_read = 0
         chunks_read = 0
         rows_restored = 0
         last_completed = self.clock.now
+        hot_completed = self.clock.now
         rows_by_table: dict[int, list[np.ndarray]] = {}
-        for shard_record in manifest.shards:
-            for chunk in shard_record.chunks:
-                blob, completed = yield from self._staged_read(chunk.key)
-                bytes_read += len(blob)
-                last_completed = max(last_completed, completed)
-                rows = self._decode_chunk(
-                    model, shard_record.table_id, chunk, blob
-                )
-                rows_by_table.setdefault(
-                    shard_record.table_id, []
-                ).append(rows)
-                chunks_read += 1
-                rows_restored += int(rows.shape[0])
+        for shard_record, chunk, is_hot in self._chunk_plan(
+            manifest, order, hot_rows
+        ):
+            blob, completed = yield from self._staged_read(chunk.key)
+            bytes_read += len(blob)
+            last_completed = max(last_completed, completed)
+            if is_hot:
+                hot_completed = max(hot_completed, completed)
+            rows = self._decode_chunk(
+                model, shard_record.table_id, chunk, blob
+            )
+            if on_chunk is not None:
+                on_chunk(manifest, shard_record, chunk, rows)
+            rows_by_table.setdefault(
+                shard_record.table_id, []
+            ).append(rows)
+            chunks_read += 1
+            rows_restored += int(rows.shape[0])
         return (
             bytes_read,
             chunks_read,
             rows_restored,
             rows_by_table,
             last_completed,
+            hot_completed,
         )
 
     def _apply_manifest(
-        self, model: DLRM, manifest: CheckpointManifest
+        self,
+        model: DLRM,
+        manifest: CheckpointManifest,
+        on_chunk=None,
     ) -> tuple[int, int, int, dict[int, list[np.ndarray]]]:
         """Load one manifest's chunks into the model (immediate drain).
 
         Returns (bytes_read, chunks_read, rows_restored, rows_by_table).
         """
-        b, c, r, rows_by_table, _ = _drain(
-            self._apply_manifest_steps(model, manifest)
+        b, c, r, rows_by_table, _, _ = _drain(
+            self._apply_manifest_steps(model, manifest, on_chunk=on_chunk)
         )
         return b, c, r, rows_by_table
 
@@ -416,6 +504,9 @@ class CheckpointRestorer:
         manifests: dict[str, CheckpointManifest],
         reader: ReaderMaster | None = None,
         policy: CheckpointPolicy | None = None,
+        order: str = ORDER_MANIFEST,
+        hot_rows: dict[int, np.ndarray] | None = None,
+        on_chunk=None,
     ):
         """Generator: restore ``target`` through staged, announced reads.
 
@@ -426,7 +517,20 @@ class CheckpointRestorer:
         ``finished_at_s`` taken from the restore's *own* receipt
         completion times — correct even when other jobs' transfers land
         on the shared link between this restore's parts.
+
+        ``order="hot_first"`` is the CPR-style priority restore: the
+        dense state reads *first*, and within each chain link the
+        chunks overlapping ``hot_rows`` (table id -> table-global row
+        ids, typically tracker stats) lead the cold tail — safe because
+        chunks within one link are disjoint, and the oldest-first link
+        order still guarantees later increments overwrite earlier rows.
+        The report's ``first_batch_ready_s`` then records when the hot
+        set had fully landed.
         """
+        if order not in RESTORE_ORDERS:
+            raise CheckpointError(
+                f"unknown restore order {order!r}; valid: {RESTORE_ORDERS}"
+            )
         chain_policy = policy or FullPolicy()
         chain = chain_policy.restore_chain(target, manifests)
         started = self.clock.now
@@ -434,26 +538,44 @@ class CheckpointRestorer:
         chunks_read = 0
         rows_restored = 0
         finished = started
+        hot_finished = started
+        dense_completed = started
         target_rows: dict[int, np.ndarray] = {}
+        if order == ORDER_HOT_FIRST:
+            # Dense state up front: the MLPs are needed for any batch
+            # at all, and they are <1% of the model.
+            dense_bytes, dense_completed = yield from (
+                self._apply_dense_steps(model, target)
+            )
+            bytes_read += dense_bytes
+            finished = max(finished, dense_completed)
         for manifest in chain:  # oldest first: increments overwrite base
-            b, c, r, rows_by_table, completed = yield from (
-                self._apply_manifest_steps(model, manifest)
+            b, c, r, rows_by_table, completed, hot_completed = (
+                yield from self._apply_manifest_steps(
+                    model,
+                    manifest,
+                    order=order,
+                    hot_rows=hot_rows,
+                    on_chunk=on_chunk,
+                )
             )
             bytes_read += b
             chunks_read += c
             rows_restored += r
             finished = max(finished, completed)
+            hot_finished = max(hot_finished, hot_completed)
             if manifest.checkpoint_id == target.checkpoint_id:
                 target_rows = {
                     table_id: np.unique(np.concatenate(parts))
                     for table_id, parts in rows_by_table.items()
                 }
-        # Dense state: only the target's copy matters (stored whole).
-        dense_bytes, dense_completed = yield from self._apply_dense_steps(
-            model, target
-        )
-        bytes_read += dense_bytes
-        finished = max(finished, dense_completed)
+        if order != ORDER_HOT_FIRST:
+            # Dense state: only the target's copy matters (stored whole).
+            dense_bytes, dense_completed = yield from (
+                self._apply_dense_steps(model, target)
+            )
+            bytes_read += dense_bytes
+            finished = max(finished, dense_completed)
 
         progress = target.trainer_progress
         model.batches_trained = int(progress.get("batches_trained", 0))
@@ -461,6 +583,12 @@ class CheckpointRestorer:
         if reader is not None:
             reader.restore(ReaderState.from_dict(target.reader_state))
 
+        finished = max(finished, self.clock.now)
+        first_batch_ready = (
+            max(dense_completed, hot_finished)
+            if order == ORDER_HOT_FIRST
+            else finished
+        )
         return RestoreReport(
             checkpoint_id=target.checkpoint_id,
             chain_ids=[m.checkpoint_id for m in chain],
@@ -468,8 +596,9 @@ class CheckpointRestorer:
             chunks_read=chunks_read,
             rows_restored=rows_restored,
             started_at_s=started,
-            finished_at_s=max(finished, self.clock.now),
+            finished_at_s=finished,
             target_rows_by_table=target_rows,
+            first_batch_ready_s=min(first_batch_ready, finished),
         )
 
     def restore_with_fallback_steps(
@@ -526,6 +655,9 @@ class CheckpointRestorer:
         manifests: dict[str, CheckpointManifest],
         reader: ReaderMaster | None = None,
         policy: CheckpointPolicy | None = None,
+        order: str = ORDER_MANIFEST,
+        hot_rows: dict[int, np.ndarray] | None = None,
+        on_chunk=None,
     ) -> RestoreReport:
         """Restore model (and optionally reader) from ``target``.
 
@@ -537,12 +669,43 @@ class CheckpointRestorer:
         """
         return _drain(
             self.restore_steps(
-                model, target, manifests, reader=reader, policy=policy
+                model,
+                target,
+                manifests,
+                reader=reader,
+                policy=policy,
+                order=order,
+                hot_rows=hot_rows,
+                on_chunk=on_chunk,
             )
         )
 
+    def apply_single_steps(
+        self,
+        model: DLRM,
+        manifest: CheckpointManifest,
+        on_chunk=None,
+    ):
+        """Generator: apply one manifest through staged, announced reads.
+
+        The staged mirror of :meth:`apply_single` — yields a
+        :class:`ReadStep` before every GET part so a driver can
+        interleave the apply with concurrent link traffic. Returns
+        ``(bytes_read, completed_s)``.
+        """
+        bytes_read, _, _, _, completed, _ = yield from (
+            self._apply_manifest_steps(model, manifest, on_chunk=on_chunk)
+        )
+        dense_bytes, dense_completed = yield from self._apply_dense_steps(
+            model, manifest
+        )
+        return bytes_read + dense_bytes, max(completed, dense_completed)
+
     def apply_single(
-        self, model: DLRM, manifest: CheckpointManifest
+        self,
+        model: DLRM,
+        manifest: CheckpointManifest,
+        on_chunk=None,
     ) -> int:
         """Apply one manifest's rows + dense state onto a live model.
 
@@ -552,8 +715,9 @@ class CheckpointRestorer:
         no chain walk, the increment lands on whatever the replica
         already holds. Returns bytes read.
         """
-        bytes_read, _, _, _ = self._apply_manifest(model, manifest)
-        bytes_read += self._apply_dense(model, manifest)
+        bytes_read, _ = _drain(
+            self.apply_single_steps(model, manifest, on_chunk=on_chunk)
+        )
         return bytes_read
 
     def restore_for_transfer(

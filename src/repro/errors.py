@@ -81,6 +81,10 @@ class FleetError(ReproError):
     """The multi-job fleet scheduler was configured or driven invalidly."""
 
 
+class ServingError(ReproError):
+    """The inference serving plane was configured or driven invalidly."""
+
+
 class ShardingError(ReproError):
     """An embedding table cannot be placed on the simulated cluster."""
 

@@ -23,6 +23,7 @@ from .bandwidth import (
     TIER_EXPERIMENTAL,
     TIER_PROD,
     TIER_RANK,
+    TIER_SERVING,
     BandwidthArbiter,
     StreamState,
     Transfer,
@@ -93,6 +94,7 @@ __all__ = [
     "TIER_EXPERIMENTAL",
     "TIER_PROD",
     "TIER_RANK",
+    "TIER_SERVING",
     "Backend",
     "BandwidthArbiter",
     "CapacityPoint",

@@ -40,16 +40,20 @@ from dataclasses import dataclass, field
 
 from ..errors import CapacityExceededError, StorageError
 
+#: Priority tier of the inference serving plane: user-facing row
+#: lookups are latency-critical, so a backlogged serving stream beats
+#: even production training traffic to the link.
+TIER_SERVING = "serving"
 #: Priority tier of production jobs: their backlogged transfers always
 #: beat experimental ones to the link, and they may preempt experimental
 #: staged writes entirely.
 TIER_PROD = "prod"
 #: Priority tier of experimental jobs: served by fair queueing only
-#: when no prod stream is backlogged.
+#: when no prod or serving stream is backlogged.
 TIER_EXPERIMENTAL = "experimental"
 
 #: Tier service order on a contended link (lower rank serves first).
-TIER_RANK = {TIER_PROD: 0, TIER_EXPERIMENTAL: 1}
+TIER_RANK = {TIER_SERVING: 0, TIER_PROD: 1, TIER_EXPERIMENTAL: 2}
 
 
 @dataclass(frozen=True)

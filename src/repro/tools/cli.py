@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.tools scan --store-dir /tmp/ckpts --job job0
     python -m repro.tools restore --store-dir /tmp/ckpts --job job0
     python -m repro.tools fleet --jobs 8 --intervals 4
+    python -m repro.tools serve --servers 3 --cache-rows 256
 
 ``run`` persists checkpoints (and the job's configuration) to a
 directory-backed object store, so a later ``restore`` in a *different
@@ -453,6 +454,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for fleet_aggregate.txt",
     )
     fleet.set_defaults(func=cmd_fleet)
+
+    serve = sub.add_parser(
+        "serve",
+        help="co-simulate the serving plane: checkpoints publish to "
+        "inference servers answering row lookups",
+    )
+    serve.add_argument(
+        "--servers", type=int, default=3, help="inference servers"
+    )
+    serve.add_argument(
+        "--cache-rows", type=int, default=256,
+        help="per-server row-cache capacity (pinned hot rows + LRU)",
+    )
+    serve.add_argument(
+        "--qps", type=float, default=16.0,
+        help="fleet-wide lookup arrival rate",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=300, help="lookup requests"
+    )
+    serve.add_argument(
+        "--intervals", type=int, default=6,
+        help="checkpoint intervals the training job runs underneath",
+    )
+    serve.add_argument(
+        "--interval-batches", type=int, default=25,
+        help="training batches per checkpoint interval",
+    )
+    serve.add_argument(
+        "--tables", type=int, default=2, help="embedding tables"
+    )
+    serve.add_argument(
+        "--rows", type=int, default=2048,
+        help="rows per embedding table",
+    )
+    serve.add_argument(
+        "--chunk-rows", type=int, default=256,
+        help="embedding rows per checkpoint chunk (the ranged-GET unit "
+        "serving misses read)",
+    )
+    serve.add_argument(
+        "--pin-rows", type=int, default=48,
+        help="hot rows the publisher announces (and servers pin) per "
+        "table",
+    )
+    serve.add_argument(
+        "--no-warm-pins", action="store_true",
+        help="disable hot-row prefetch at version flips",
+    )
+    serve.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the golden-snapshot torn-lookup verifier",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory for serving_cli_report.txt",
+    )
+    serve.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write serving counters as a Prometheus textfile (.prom)",
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
@@ -602,6 +666,69 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         storm_path.write_text(storm_body)
         print(f"wrote {storm_path}")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the checkpoint-to-inference serving-plane co-simulation.
+
+    One training job checkpoints under Check-N-Run while the serving
+    fleet answers Zipfian row lookups against the latest published
+    version — writes, publish reads and lookup GETs share one link.
+    The report (lookup percentiles, cache hit rate, version flips and
+    the must-be-zero torn-lookup count) lands in
+    ``serving_cli_report.txt``.
+    """
+    import dataclasses
+    from pathlib import Path
+
+    from ..serving import ServingConfig, format_serving_report, run_serving
+    from .metrics import serving_metrics
+
+    config = small_config(
+        policy="consecutive",
+        interval_batches=args.interval_batches,
+        num_tables=args.tables,
+        rows_per_table=args.rows,
+        batch_size=64,
+    )
+    config = dataclasses.replace(
+        config,
+        checkpoint=dataclasses.replace(
+            config.checkpoint, chunk_rows=args.chunk_rows
+        ),
+    )
+    serving = ServingConfig(
+        num_servers=args.servers,
+        cache_rows=args.cache_rows,
+        qps=args.qps,
+        num_queries=args.queries,
+        hot_rows_per_table=args.pin_rows,
+        warm_pins=not args.no_warm_pins,
+        verify=not args.no_verify,
+        seed=args.seed,
+        train_intervals=args.intervals,
+    )
+    report = run_serving(config, serving)
+    body = "\n".join(
+        [
+            f"== Serving run: {args.servers} servers x "
+            f"{args.cache_rows} cache rows, {args.qps:g} qps over "
+            f"{args.queries} queries (seed {args.seed}) ==",
+            format_serving_report(report),
+        ]
+    )
+    print(body)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "serving_cli_report.txt"
+    out_path.write_text(body)
+    print(f"wrote {out_path}")
+    if args.metrics_out is not None:
+        metrics_path = write_textfile(
+            args.metrics_out, serving_metrics(report)
+        )
+        print(f"wrote {metrics_path}")
+    return 1 if report.torn_lookups else 0
 
 
 def main(argv: list[str] | None = None) -> int:

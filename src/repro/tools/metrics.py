@@ -15,7 +15,11 @@ Two builders mirror the operator surfaces that emit metrics:
   scanned, corrupt/quarantined/torn counts by job;
 * :func:`fleet_metrics` — one fleet run
   (:class:`~repro.fleet.experiment.FleetRunReport`): bit-rot
-  injections, restore fallbacks, scratch restarts, restores/failures.
+  injections, restore fallbacks, scratch restarts, restores/failures;
+* :func:`serving_metrics` — one serving-plane co-simulation
+  (:class:`~repro.serving.fleet.ServingReport`): lookup latency
+  percentiles, row-cache hit rate, version flips/lag/stalls, torn
+  lookups.
 """
 
 from __future__ import annotations
@@ -237,5 +241,112 @@ def fleet_metrics(report) -> list[Metric]:
             f"{PREFIX}_fleet_cache_dirty_backlog",
             report.cache_dirty_backlog,
             help="Dirty objects still unflushed at end of run.",
+        ),
+    ]
+
+
+def serving_metrics(report) -> list[Metric]:
+    """Metrics for one serving-plane co-simulation (``repro serve``).
+
+    ``report`` is a :class:`~repro.serving.fleet.ServingReport`. The
+    series an online-training deployment would alert on: lookup tail
+    latency, row-cache efficiency, version freshness, and the
+    must-be-zero torn-lookup counter.
+    """
+    return [
+        Metric(
+            f"{PREFIX}_serving_servers",
+            report.num_servers,
+            help="Inference servers in the serving fleet.",
+        ),
+        Metric(
+            f"{PREFIX}_serving_cache_rows",
+            report.cache_rows,
+            help="Per-server row-cache capacity (pins + LRU ring).",
+        ),
+        Metric(
+            f"{PREFIX}_serving_lookups",
+            report.requests,
+            help="Lookup requests served.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_rows_looked_up",
+            report.rows_looked_up,
+            help="Embedding rows served across all requests.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_lookup_p50_s",
+            report.lookup_p50_s,
+            help="Median lookup latency (arrival to completion).",
+        ),
+        Metric(
+            f"{PREFIX}_serving_lookup_p99_s",
+            report.lookup_p99_s,
+            help="99th-percentile lookup latency.",
+        ),
+        Metric(
+            f"{PREFIX}_serving_cache_hits",
+            report.cache_hits,
+            help="Row lookups answered from the row cache.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_cache_misses",
+            report.cache_misses,
+            help="Row lookups that read a checkpoint chunk.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_cache_hit_rate",
+            report.hit_rate,
+            help="Row-cache hit fraction over the run.",
+        ),
+        Metric(
+            f"{PREFIX}_serving_version_flips",
+            report.version_flips,
+            help="Atomic version flips across the fleet.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_flip_stall_seconds_total",
+            report.flip_stall_total_s,
+            help="Time spent warming caches before flips could land.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_version_lag_mean_s",
+            report.version_lag_mean_s,
+            help="Mean age of the served version at lookup completion.",
+        ),
+        Metric(
+            f"{PREFIX}_serving_version_lag_max_s",
+            report.version_lag_max_s,
+            help="Worst served-version age observed.",
+        ),
+        Metric(
+            f"{PREFIX}_serving_torn_lookups",
+            report.torn_lookups,
+            help="Requests whose values mixed versions (must be 0).",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_straddled_requests",
+            report.straddled_requests,
+            help="Requests that finished on a pre-flip version.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_version_fallbacks",
+            report.version_fallbacks,
+            help="Corrupt-chunk fallbacks to an older version.",
+            type="counter",
+        ),
+        Metric(
+            f"{PREFIX}_serving_publishes",
+            report.publishes,
+            help="Checkpoints published to the serving fleet.",
+            type="counter",
         ),
     ]
