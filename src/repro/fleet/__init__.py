@@ -42,6 +42,13 @@ from .jobs import (
     spec_experiment_config,
 )
 from .namespace import ScopedStore
+from .planner import (
+    PlanPoint,
+    ProvisioningCurve,
+    plan_point,
+    run_plan,
+    storm_time_to_recover,
+)
 from .scheduler import FleetEvent, FleetScheduler
 
 __all__ = [
@@ -54,6 +61,8 @@ __all__ = [
     "FleetReductionResult",
     "FleetRunReport",
     "FleetScheduler",
+    "PlanPoint",
+    "ProvisioningCurve",
     "RestoreSample",
     "ScopedStore",
     "TierSummary",
@@ -65,7 +74,10 @@ __all__ = [
     "format_storm_report",
     "interleave_score",
     "part_split_score",
+    "plan_point",
     "run_fleet",
+    "run_plan",
+    "storm_time_to_recover",
     "sample_fleet_specs",
     "sample_priority_tiers",
     "spec_experiment_config",

@@ -205,6 +205,7 @@ def build_fleet(
     config: FleetConfig,
     specs: list[FleetJobSpec] | None = None,
     on_event: Callable[[FleetEvent], None] | None = None,
+    dispatch: str = "heap",
 ) -> tuple[FleetScheduler, ObjectStore]:
     """Wire a shared store + arbiter and a full fleet of jobs.
 
@@ -232,7 +233,7 @@ def build_fleet(
         specs = sample_fleet_specs(config)
     jobs = [build_fleet_job(spec, config, store) for spec in specs]
     scheduler = FleetScheduler(
-        config, store, jobs=jobs, on_event=on_event
+        config, store, jobs=jobs, on_event=on_event, dispatch=dispatch
     )
     return scheduler, store
 
@@ -375,9 +376,10 @@ def run_fleet(
     config: FleetConfig,
     specs: list[FleetJobSpec] | None = None,
     on_event: Callable[[FleetEvent], None] | None = None,
+    dispatch: str = "heap",
 ) -> tuple[FleetScheduler, FleetRunReport]:
     """Run one fleet to completion and summarise it."""
-    scheduler, store = build_fleet(config, specs, on_event)
+    scheduler, store = build_fleet(config, specs, on_event, dispatch)
     scheduler.run()
     return scheduler, summarize_fleet(scheduler, store)
 

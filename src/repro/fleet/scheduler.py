@@ -1,11 +1,19 @@
 """The fleet checkpoint scheduler: N jobs, one store, one link.
 
 Runs many independent training jobs — each a complete Check-N-Run stack
-with its own simulated clock — against a single shared object store, in
-conservative lockstep: the scheduler always processes the globally
-earliest pending event, so transfers from different jobs reach the
-shared link in simulated-time order even though each job's Python code
-runs sequentially.
+with its own simulated clock — against a single shared object store:
+the scheduler always processes the globally earliest pending event, so
+transfers from different jobs reach the shared link in simulated-time
+order even though each job's Python code runs sequentially.
+
+Dispatch is indexed by default: an event heap
+(:class:`~repro.fleet.eventqueue.FleetEventQueue`) keyed per lane
+(staged write parts, write bookkeeping, training) pops the earliest
+event in O(log n) and re-keys only the jobs an event touched. The
+original O(jobs)-per-event candidate rescan survives as
+``dispatch="lockstep"`` — the differential baseline the bit-identity
+tests and the b04 scale benchmark compare against; both modes produce
+bit-identical runs.
 
 Checkpoint writes are *staged* (see
 :meth:`repro.core.controller.CheckNRun.begin_checkpoint`): a job's write
@@ -74,6 +82,7 @@ from ..failures.traces import FailureTrace
 from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD, TIER_RANK
 from ..storage.engine import AdmissionController
 from ..storage.object_store import ObjectStore
+from .eventqueue import FleetEventQueue, tie_threshold
 from .jobs import (
     FleetJob,
     RestoreSample,
@@ -81,9 +90,17 @@ from .jobs import (
     sample_fleet_specs,
 )
 
-#: Hard ceiling on scheduler iterations — a stuck event loop raises
-#: instead of spinning forever.
-MAX_EVENTS = 5_000_000
+#: Floor on the derived convergence bound: tiny fleets keep a generous
+#: event budget so legitimate crash/preemption replay never trips the
+#: non-convergence error. The per-run ceiling itself is derived from
+#: fleet shape — see :meth:`FleetScheduler._derive_max_events`.
+MIN_EVENT_BUDGET = 200_000
+
+#: Dispatch modes: ``"heap"`` pops the globally earliest event from the
+#: indexed :class:`FleetEventQueue` in O(log n); ``"lockstep"`` is the
+#: original O(jobs)-per-event candidate rescan, retained as the
+#: differential baseline (bit-identity tests, the b04 benchmark).
+DISPATCH_MODES = ("heap", "lockstep")
 
 
 @dataclass
@@ -107,14 +124,21 @@ class FleetScheduler:
         store: ObjectStore,
         jobs: list[FleetJob] | None = None,
         on_event: Callable[[FleetEvent], None] | None = None,
+        dispatch: str = "heap",
     ) -> None:
         if store.arbiter is None:
             raise FleetError(
                 "the shared store needs a BandwidthArbiter attached"
             )
+        if dispatch not in DISPATCH_MODES:
+            raise FleetError(
+                f"unknown dispatch mode {dispatch!r}; "
+                f"valid: {DISPATCH_MODES}"
+            )
         self.config = config
         self.store = store
         self.on_event = on_event
+        self.dispatch = dispatch
         self.admission = AdmissionController(
             store.engine,
             mode=config.resolved_admission_mode,
@@ -188,6 +212,129 @@ class FleetScheduler:
             self._storm_trigger_intervals = max(
                 1, int(self.storm_plan.at_progress * total_target)
             )
+        #: Fleet progress changed since the armed storm last measured
+        #: it (heap mode recomputes the O(jobs) progress sum only when
+        #: this is set; interval indices change only at trigger /
+        #: recovery boundaries).
+        self._progress_dirty = True
+        self.max_events = self._derive_max_events()
+        # Indexed dispatch state. The per-tier staged-write counters
+        # and the re-stage waiting set are maintained in *both* modes
+        # (they are the O(1) form of the same job-state predicates the
+        # lockstep scan evaluates); the event-queue lanes are only
+        # maintained under heap dispatch.
+        self._queue = FleetEventQueue()
+        self._jobs_by_id = {job.job_id: job for job in self.jobs}
+        if len(self._jobs_by_id) != len(self.jobs):
+            raise FleetError("duplicate job ids in fleet")
+        self._staged_by_tier: dict[str, int] = {}
+        self._staged_total = 0
+        self._staged_tier_of: dict[str, str | None] = {}
+        #: Training-done jobs owing a preempted write's re-stage —
+        #: their train-lane slot exists only while no prod write is
+        #: active, so prod-activity flips re-key exactly this set.
+        self._restage_waiting: set[str] = set()
+        for job in self.jobs:
+            self._sync_job(job)
+
+    def _derive_max_events(self) -> int:
+        """Convergence bound from fleet shape instead of a fixed cap.
+
+        Per interval a job spends one trigger, its training batches,
+        one event per announced PUT part (chunks bounded by the fp32
+        embedding bytes over the backend part size, plus per-object
+        announcements), and a finish — padded for skips/deferrals.
+        Crashes replay work (a restore rewinds to the last valid
+        checkpoint, a scratch restart to zero), so the per-job budget
+        scales with the failure allowance plus the storm, and a final
+        headroom factor absorbs preemption/re-stage churn. The bound
+        stays proportional to real fleet work at every scale — a 10k
+        job fleet gets a 10k-sized budget, and a stuck loop still
+        raises :class:`FleetError` instead of spinning forever.
+        """
+        part_size = self.config.storage.backend.part_size_bytes
+        total = 0
+        for job in self.jobs:
+            spec = job.spec
+            # Announced PUT steps per checkpoint: one per object
+            # (chunks + dense + manifest + sidecars) plus one per
+            # multipart part of the fp32-bounded payload.
+            objects = 2 * spec.num_tables + 4
+            parts = objects
+            if part_size is not None and part_size > 0:
+                parts += (
+                    2 * job.model_fp32_bytes() + part_size - 1
+                ) // part_size
+            per_interval = spec.interval_batches + parts + 6
+            total += job.target_intervals * per_interval
+        replay = 3 + self.config.max_failures_per_job
+        return max(MIN_EVENT_BUDGET, 4 * replay * total)
+
+    # ------------------------------------------------------------------
+    # Indexed dispatch state (counters + event-queue lanes)
+    # ------------------------------------------------------------------
+
+    def _sync_job(self, job: FleetJob) -> None:
+        """Re-derive a job's counters and lane keys from its state.
+
+        Called whenever an event touched the job (its clock, staged
+        write, re-stage flag or training progress may have changed).
+        Every other job's cached keys stay valid — per-job clocks only
+        advance while the scheduler is processing that job's own event,
+        and announced write steps carry static ready times.
+        """
+        job_id = job.job_id
+        prev_tier = self._staged_tier_of.get(job_id)
+        cur_tier = job.tier if job.pending is not None else None
+        if prev_tier != cur_tier:
+            prod_before = self._staged_by_tier.get(TIER_PROD, 0)
+            if prev_tier is not None:
+                self._staged_by_tier[prev_tier] -= 1
+                self._staged_total -= 1
+            if cur_tier is not None:
+                self._staged_by_tier[cur_tier] = (
+                    self._staged_by_tier.get(cur_tier, 0) + 1
+                )
+                self._staged_total += 1
+            self._staged_tier_of[job_id] = cur_tier
+            prod_after = self._staged_by_tier.get(TIER_PROD, 0)
+            if (prod_before > 0) != (prod_after > 0):
+                self._on_prod_activity_flip()
+        if self.dispatch != "heap":
+            return
+        queue = self._queue
+        pending = job.pending
+        if pending is not None and pending.next_step is not None:
+            queue.write.set(job_id, pending.next_step.ready_s)
+            queue.book.remove(job_id)
+        elif pending is not None:
+            queue.write.remove(job_id)
+            queue.book.set(job_id, job.clock.now)
+        else:
+            queue.clear_write_lanes(job_id)
+        if not job.training_done():
+            queue.train.set(job_id, job.clock.now)
+            self._restage_waiting.discard(job_id)
+        elif job.requeue_write and pending is None:
+            # The lockstep scan's re-stage slot: a training-done job
+            # owing a preempted write competes for a train-lane event
+            # only while no prod write is active.
+            self._restage_waiting.add(job_id)
+            if self._tier_write_active(TIER_PROD):
+                queue.train.remove(job_id)
+            else:
+                queue.train.set(job_id, job.clock.now)
+        else:
+            queue.train.remove(job_id)
+            self._restage_waiting.discard(job_id)
+
+    def _on_prod_activity_flip(self) -> None:
+        """Prod staged-write activity crossed zero: re-key the jobs
+        whose train-lane eligibility is conditioned on it."""
+        if self.dispatch != "heap":
+            return
+        for job_id in list(self._restage_waiting):
+            self._sync_job(self._jobs_by_id[job_id])
 
     # ------------------------------------------------------------------
     # Event plumbing
@@ -217,14 +364,15 @@ class FleetScheduler:
         ]
 
     def active_writes(self) -> int:
-        """Jobs with a staged write still submitting PUTs."""
-        return sum(1 for job in self.jobs if job.pending is not None)
+        """Jobs with a staged write still submitting PUTs.
+
+        O(1): the per-tier counters are kept in sync by
+        :meth:`_sync_job` at every staged-write set/clear site.
+        """
+        return self._staged_total
 
     def _tier_write_active(self, tier: str) -> bool:
-        return any(
-            job.tier == tier and job.pending is not None
-            for job in self.jobs
-        )
+        return self._staged_by_tier.get(tier, 0) > 0
 
     # ------------------------------------------------------------------
     # Main loop
@@ -233,9 +381,12 @@ class FleetScheduler:
     def run(self) -> None:
         """Process events until every job trained its target intervals
         and drained its last write."""
-        for _ in range(MAX_EVENTS):
+        heap = self.dispatch == "heap"
+        for _ in range(self.max_events):
             self._maybe_fire_storm()
-            event = self._next_event()
+            event = (
+                self._next_event_heap() if heap else self._next_event()
+            )
             if event is None:
                 if self._storm_armed():
                     # Backstop: the fleet is about to drain with the
@@ -248,13 +399,16 @@ class FleetScheduler:
             if job.job_id in self._forced_crashes:
                 self._forced_crashes.discard(job.job_id)
                 self._crash(job)
+                self._sync_job(job)
                 continue
             if kind == "write":
                 self._step_write(job)
             else:
                 self._step_train(job)
+            self._sync_job(job)
         raise FleetError(
-            f"fleet did not converge within {MAX_EVENTS} events"
+            f"fleet did not converge within {self.max_events} events "
+            f"(derived bound for {len(self.jobs)} jobs)"
         )
 
     def _next_event(self) -> tuple[float, str, FleetJob] | None:
@@ -299,7 +453,7 @@ class FleetScheduler:
             tied = [
                 job
                 for t, job in write_candidates
-                if t <= best_write[0] + 1e-12
+                if t <= tie_threshold(best_write[0])
             ]
             if len(tied) > 1:
                 chosen_id = self.store.arbiter.pick(
@@ -313,10 +467,44 @@ class FleetScheduler:
         # Deterministic tie-break on equal clocks: lowest job id.
         t_min = best_train[0]
         job = min(
-            (j for t, j in train_candidates if t <= t_min + 1e-12),
+            (
+                j
+                for t, j in train_candidates
+                if t <= tie_threshold(t_min)
+            ),
             key=lambda j: j.job_id,
         )
         return (t_min, "train", job)
+
+    def _next_event_heap(self) -> tuple[float, str, FleetJob] | None:
+        """Heap dispatch: identical semantics, O(log n) per event.
+
+        Lane keys are maintained by :meth:`_sync_job`; the write lane's
+        link floor is applied at pop time (see
+        :mod:`repro.fleet.eventqueue` for why that preserves the
+        floored minimum). Ordering matches :meth:`_next_event` exactly:
+        writes beat training at equal times, tied writes go to the
+        arbiter, tied trains to the lowest job id.
+        """
+        queue = self._queue
+        best_write = queue.best_write(self.store.timeline.free_at)
+        best_train = queue.train.best()
+        if best_write is None and best_train is None:
+            return None
+        if best_write is not None and (
+            best_train is None or best_write <= best_train
+        ):
+            tied = queue.tied_writes(
+                best_write, self.store.timeline.free_at
+            )
+            if len(tied) > 1:
+                chosen = self.store.arbiter.pick(tied)
+            else:
+                chosen = tied[0]
+            return (best_write, "write", self._jobs_by_id[chosen])
+        assert best_train is not None
+        tied = queue.train.tied(best_train)
+        return (best_train, "train", self._jobs_by_id[min(tied)])
 
     # ------------------------------------------------------------------
     # Write path
@@ -462,6 +650,7 @@ class FleetScheduler:
             other.preempted_writes += 1
             other.requeue_write = True
             self.store.arbiter.record_preemption(other.job_id)
+            self._sync_job(other)
             preempted += 1
             self._emit(
                 FleetEvent(
@@ -529,13 +718,25 @@ class FleetScheduler:
         """
         if not self._storm_armed():
             return
-        progress = sum(
-            min(job.controller.interval_index, job.target_intervals)
-            for job in self.jobs
-        )
-        self._progress_high = max(self._progress_high, progress)
         if self._progress_high < self._storm_trigger_intervals:
-            return
+            if (
+                self.dispatch == "heap"
+                and not self._progress_dirty
+            ):
+                # Interval indices only move at trigger/recovery
+                # boundaries, which set the dirty flag in the same
+                # loop iteration — so skipping the O(jobs) sum while
+                # clean detects the threshold crossing at exactly the
+                # iteration the lockstep rescan would.
+                return
+            self._progress_dirty = False
+            progress = sum(
+                min(job.controller.interval_index, job.target_intervals)
+                for job in self.jobs
+            )
+            self._progress_high = max(self._progress_high, progress)
+            if self._progress_high < self._storm_trigger_intervals:
+                return
         assert self.storm_plan is not None
         affected_ids = set(self.storm_plan.affected_job_ids)
         restorable = all(
@@ -633,7 +834,7 @@ class FleetScheduler:
                     tied = [
                         entry
                         for t, entry in candidates
-                        if t <= best_t + 1e-12
+                        if t <= tie_threshold(best_t)
                     ]
                     if len(tied) > 1:
                         chosen = self.store.arbiter.pick(
@@ -666,6 +867,10 @@ class FleetScheduler:
                         finished.append((rank, event))
         finally:
             self._storm_draining = set()
+            # Every victim's clock, staged write and training state
+            # changed across the drain: re-key them all.
+            for job in affected.values():
+                self._sync_job(job)
         finished.sort(key=lambda pair: pair[0])  # stable: prod first
         for _, event in finished:
             self._emit(event)
@@ -700,6 +905,9 @@ class FleetScheduler:
             self._crash(job)
 
     def _trigger_checkpoint(self, job: FleetJob) -> None:
+        # Both begin_checkpoint and record_skip advance the interval
+        # index — the armed storm's progress measure must re-sum.
+        self._progress_dirty = True
         job.batches_left = job.spec.interval_batches
         # Successive triggers measure the job's checkpoint interval —
         # the dynamic admission controller's deferral threshold.
@@ -785,6 +993,9 @@ class FleetScheduler:
             job.controller.abort_pending(job.pending)
             job.pending = None
             job.torn_writes += 1
+        # Counters must see the cleared write before the preemption
+        # check below (and before the next storm victim's bookkeeping).
+        self._sync_job(job)
         # A write whose chunks were all submitted but whose manifest
         # transfer had not landed dies with the process too: discard
         # it so it never becomes valid after the fact.
@@ -885,6 +1096,9 @@ class FleetScheduler:
         the caller controls emission order (the storm drain buffers
         events to emit prod recoveries first).
         """
+        # finish_restore / reset_for_scratch_restart move the interval
+        # index — the armed storm's progress measure must re-sum.
+        self._progress_dirty = True
         if pending is not None:
             report = job.controller.finish_restore(pending)
             restored_from: str | None = report.checkpoint_id

@@ -34,6 +34,7 @@ from ..core.controller import CheckpointEvent
 from ..distributed.clock import SimClock
 from ..errors import ServingError
 from ..experiments.common import Experiment, build_experiment
+from ..fleet.eventqueue import tie_threshold
 from ..fleet.namespace import ScopedStore
 from ..storage.backends import Backend
 from ..storage.bandwidth import (
@@ -540,7 +541,7 @@ class ServingFleet:
             tied = [
                 entry
                 for entry in link_ops
-                if entry[0] <= best_link[0] + 1e-12
+                if entry[0] <= tie_threshold(best_link[0])
             ]
             if len(tied) > 1:
                 # Flip warm-reads are *background* prefetch: when the

@@ -88,13 +88,22 @@ class TransferLog:
 
     def __init__(self) -> None:
         self._transfers: list[Transfer] = []
+        # Per-(kind, stream) index: the fleet scheduler reads one
+        # job's restore GETs around every crash, which must not scan
+        # the whole fleet's transfer history each time.
+        self._by_kind_stream: dict[tuple[str, str], list[Transfer]] = {}
 
     def record(self, transfer: Transfer) -> None:
         self._transfers.append(transfer)
+        self._by_kind_stream.setdefault(
+            (transfer.kind, transfer.stream), []
+        ).append(transfer)
 
     def transfers(
         self, kind: str | None = None, stream: str | None = None
     ) -> list[Transfer]:
+        if kind is not None and stream is not None:
+            return list(self._by_kind_stream.get((kind, stream), ()))
         return [
             t
             for t in self._transfers
@@ -243,6 +252,10 @@ class BandwidthArbiter:
     def __init__(self) -> None:
         self._streams: dict[str, StreamState] = {}
         self._virtual_time = 0.0  # max finish tag served so far
+        # Sorted-view cache, invalidated on registration: streams()
+        # sits on fleet summary paths and must not re-sort the whole
+        # registry per call.
+        self._sorted: list[StreamState] | None = None
 
     # -- registry ------------------------------------------------------
 
@@ -272,6 +285,7 @@ class BandwidthArbiter:
             quota_bytes=quota_bytes,
         )
         self._streams[stream_id] = state
+        self._sorted = None
         return state
 
     def stream(self, stream_id: str) -> StreamState:
@@ -283,7 +297,11 @@ class BandwidthArbiter:
             ) from None
 
     def streams(self) -> list[StreamState]:
-        return [self._streams[k] for k in sorted(self._streams)]
+        if self._sorted is None:
+            self._sorted = [
+                self._streams[k] for k in sorted(self._streams)
+            ]
+        return list(self._sorted)
 
     # -- fair queueing -------------------------------------------------
 
@@ -299,18 +317,23 @@ class BandwidthArbiter:
         """
         if not candidates:
             raise StorageError("no candidate streams to pick from")
-        best_rank = min(
-            TIER_RANK[self.stream(s).tier] for s in candidates
-        )
+        # Single pass, no sort: the historical sorted scan with a
+        # strict-< tag comparison is exactly the minimum under
+        # (tier rank, SFQ tag, stream id) — order-independent, so a
+        # linear min over the candidates picks the identical stream in
+        # O(k). This sits on the fleet's per-event dispatch path.
+        virtual_time = self._virtual_time
         best: str | None = None
-        best_tag = 0.0
-        for stream_id in sorted(candidates):
+        best_key: tuple[int, float, str] | None = None
+        for stream_id in candidates:
             state = self.stream(stream_id)
-            if TIER_RANK[state.tier] != best_rank:
-                continue
-            tag = max(state.virtual_finish, self._virtual_time)
-            if best is None or tag < best_tag:
-                best, best_tag = stream_id, tag
+            key = (
+                TIER_RANK[state.tier],
+                max(state.virtual_finish, virtual_time),
+                stream_id,
+            )
+            if best_key is None or key < best_key:
+                best, best_key = stream_id, key
         assert best is not None
         return best
 

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.tools scan --store-dir /tmp/ckpts --job job0
     python -m repro.tools restore --store-dir /tmp/ckpts --job job0
     python -m repro.tools fleet --jobs 8 --intervals 4
+    python -m repro.tools plan --jobs 8 --quotas none,262144
     python -m repro.tools serve --servers 3 --cache-rows 256
 
 ``run`` persists checkpoints (and the job's configuration) to a
@@ -446,6 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the bit-rot injector's RNG",
     )
     fleet.add_argument(
+        "--dispatch", choices=["heap", "lockstep"], default="heap",
+        help="event-dispatch engine: 'heap' (indexed event heap, "
+        "O(log n) per event) or 'lockstep' (the original O(n) "
+        "min-scan baseline); runs are bit-identical either way",
+    )
+    fleet.add_argument(
         "--metrics-out", default=None, metavar="PATH",
         help="write fleet counters as a Prometheus textfile (.prom)",
     )
@@ -454,6 +461,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for fleet_aggregate.txt",
     )
     fleet.set_defaults(func=cmd_fleet)
+
+    plan = sub.add_parser(
+        "plan",
+        help="capacity planner: sweep quota x retention x admission "
+        "over one seeded fleet; emit the Fig-16 provisioning curve",
+    )
+    plan.add_argument("--jobs", type=int, default=8)
+    plan.add_argument("--intervals", type=int, default=4)
+    plan.add_argument("--seed", type=int, default=0xF1EE7)
+    plan.add_argument(
+        "--quotas", default="none",
+        help="comma-separated per-job quota sweep in bytes; 'none' "
+        "means unlimited (e.g. none,262144,524288)",
+    )
+    plan.add_argument(
+        "--keep-last", default="1,2,3", dest="keep_last",
+        help="comma-separated retention-depth sweep (checkpoints "
+        "kept per job)",
+    )
+    plan.add_argument(
+        "--admissions", default="none,dynamic",
+        help="comma-separated admission-mode sweep: none, static "
+        "(needs --max-concurrent-writes), dynamic",
+    )
+    plan.add_argument(
+        "--max-concurrent-writes", type=int, default=None,
+        help="concurrent-write cap used by the 'static' admission "
+        "mode when it appears in --admissions",
+    )
+    plan.add_argument(
+        "--storm", choices=list(STORM_DOMAINS), default=None,
+        help="arm a correlated failure so every point also reports "
+        "the fleet's storm time-to-recover",
+    )
+    plan.add_argument(
+        "--rack-size", type=int, default=4,
+        help="jobs per rack when assigning storm failure domains",
+    )
+    plan.add_argument(
+        "--priority-mix", type=float, default=0.0,
+        help="fraction of jobs in the prod priority tier",
+    )
+    plan.add_argument(
+        "--no-failures", action="store_true",
+        help="disable independent failure injection",
+    )
+    plan.add_argument(
+        "--dispatch", choices=["heap", "lockstep"], default="heap",
+        help="event-dispatch engine for the sweep's fleet runs",
+    )
+    plan.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the curve as a Prometheus textfile (.prom)",
+    )
+    plan.add_argument(
+        "--out", default="benchmarks/results",
+        help="directory for plan_provisioning_curve.txt",
+    )
+    plan.set_defaults(func=cmd_plan)
 
     serve = sub.add_parser(
         "serve",
@@ -599,7 +665,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         bitrot_seed=args.bitrot_seed,
         storage=storage,
     )
-    _, report = run_fleet(config)
+    _, report = run_fleet(config, dispatch=args.dispatch)
     reduction = fleet_reduction_experiment(config)
     # The aggregate header names every knob that shaped the run, so
     # the artifact stays reproducible from its own first line.
@@ -665,6 +731,90 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         storm_path = out_dir / "fleet_cli_storm.txt"
         storm_path.write_text(storm_body)
         print(f"wrote {storm_path}")
+    return 0
+
+
+def _parse_sweep(raw: str, name: str) -> list:
+    """Parse a comma-separated sweep axis; 'none' maps to None."""
+    values: list = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if token == "none":
+            values.append(None)
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                raise ReproError(
+                    f"bad {name} value {token!r}: expected an "
+                    "integer or 'none'"
+                ) from None
+    if not values:
+        raise ReproError(f"empty {name} sweep")
+    return values
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Sweep provisioning knobs and emit the Fig-16 capacity curve.
+
+    Each grid point re-runs the *same seeded fleet* with one
+    (quota, retention depth, admission mode) combination, and the
+    table reports the peak storage / peak link bandwidth / storm
+    time-to-recover that setting would need — the numbers an operator
+    provisions the checkpoint store from.
+    """
+    from pathlib import Path
+
+    from ..fleet import run_plan
+    from .metrics import plan_metrics
+
+    quotas = _parse_sweep(args.quotas, "--quotas")
+    keep_lasts = [
+        k for k in _parse_sweep(args.keep_last, "--keep-last")
+        if k is not None
+    ]
+    admissions = [
+        token.strip()
+        for token in args.admissions.split(",")
+        if token.strip()
+    ]
+    base = FleetConfig(
+        num_jobs=args.jobs,
+        intervals_per_job=args.intervals,
+        seed=args.seed,
+        max_concurrent_writes=args.max_concurrent_writes,
+        inject_failures=not args.no_failures,
+        priority_mix=args.priority_mix,
+        storm_domain=args.storm,
+        rack_size=args.rack_size,
+    )
+    points = len(quotas) * len(keep_lasts) * len(admissions)
+    print(
+        f"sweeping {points} points ({len(quotas)} quotas x "
+        f"{len(keep_lasts)} retention depths x {len(admissions)} "
+        f"admission modes), {args.jobs} jobs each..."
+    )
+    curve = run_plan(
+        base,
+        quotas=quotas,
+        keep_lasts=keep_lasts,
+        admissions=admissions,
+        dispatch=args.dispatch,
+    )
+    body = curve.format() + "\n"
+    print(body)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "plan_provisioning_curve.txt"
+    out_path.write_text(body)
+    print(f"wrote {out_path}")
+    if args.metrics_out is not None:
+        metrics_path = write_textfile(
+            args.metrics_out, plan_metrics(curve)
+        )
+        print(f"wrote {metrics_path}")
     return 0
 
 

@@ -19,7 +19,11 @@ Two builders mirror the operator surfaces that emit metrics:
 * :func:`serving_metrics` — one serving-plane co-simulation
   (:class:`~repro.serving.fleet.ServingReport`): lookup latency
   percentiles, row-cache hit rate, version flips/lag/stalls, torn
-  lookups.
+  lookups;
+* :func:`plan_metrics` — one capacity-planner sweep
+  (:class:`~repro.fleet.planner.ProvisioningCurve`): peak storage,
+  peak link bandwidth and storm time-to-recover per grid point,
+  labelled by the (quota, retention, admission) knobs.
 """
 
 from __future__ import annotations
@@ -243,6 +247,81 @@ def fleet_metrics(report) -> list[Metric]:
             help="Dirty objects still unflushed at end of run.",
         ),
     ]
+
+
+def plan_metrics(curve) -> list[Metric]:
+    """Metrics for one capacity-planner sweep (``repro plan``).
+
+    ``curve`` is a :class:`~repro.fleet.planner.ProvisioningCurve`.
+    Every series carries the grid point's knobs as labels, so one
+    textfile holds the whole curve and dashboards can plot peak
+    storage against retention depth directly.
+    """
+    metrics = [
+        Metric(
+            f"{PREFIX}_plan_points",
+            len(curve.points),
+            help="Grid points in this provisioning sweep.",
+        ),
+        Metric(
+            f"{PREFIX}_plan_jobs",
+            curve.num_jobs,
+            help="Jobs in each swept fleet.",
+        ),
+    ]
+    for point in curve.points:
+        labels = (
+            (
+                "quota",
+                "none"
+                if point.quota_bytes is None
+                else str(point.quota_bytes),
+            ),
+            ("keep_last", str(point.keep_last)),
+            ("admission", point.admission),
+        )
+        metrics.extend(
+            [
+                Metric(
+                    f"{PREFIX}_plan_peak_physical_bytes",
+                    point.peak_physical_bytes,
+                    help="Fleet peak live physical bytes at this "
+                    "grid point.",
+                    labels=labels,
+                ),
+                Metric(
+                    f"{PREFIX}_plan_peak_put_bandwidth",
+                    point.peak_put_bandwidth,
+                    help="Peak windowed PUT bandwidth (bytes/sec).",
+                    labels=labels,
+                ),
+                Metric(
+                    f"{PREFIX}_plan_peak_get_bandwidth",
+                    point.peak_get_bandwidth,
+                    help="Peak windowed GET bandwidth (bytes/sec).",
+                    labels=labels,
+                ),
+                Metric(
+                    f"{PREFIX}_plan_storm_recover_seconds",
+                    point.storm_recover_s,
+                    help="Fleet storm time-to-recover (0 = no storm).",
+                    labels=labels,
+                ),
+                Metric(
+                    f"{PREFIX}_plan_quota_rejections",
+                    point.quota_rejections,
+                    help="Quota-rejected PUTs at this grid point.",
+                    labels=labels,
+                ),
+                Metric(
+                    f"{PREFIX}_plan_admission_deferrals",
+                    point.admission_deferrals,
+                    help="Admission-deferred checkpoint triggers.",
+                    labels=labels,
+                ),
+            ]
+        )
+    return metrics
 
 
 def serving_metrics(report) -> list[Metric]:

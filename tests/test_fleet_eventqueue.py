@@ -1,0 +1,314 @@
+"""Event-heap dispatch: heap invariants + heap/lockstep bit-identity.
+
+Two layers of proof that the indexed event heap is a pure perf change:
+
+* unit invariants on :class:`LaneHeap` / :class:`FleetEventQueue` —
+  lazy invalidation, re-keying, the pop-time link floor, relative tie
+  thresholds, and tie-set enumeration leaving the heap intact;
+* a differential matrix: the same seeded fleets run under
+  ``dispatch="heap"`` and ``dispatch="lockstep"`` must produce
+  *bit-identical* runs — equal :class:`FleetRunReport`s and equal
+  event logs (kind, job, time and payload of every event) — across
+  seeds, priority mixes, a correlated storm, quotas + dynamic
+  admission, and the tiered cache backend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import BackendConfig, FleetConfig, StorageConfig
+from repro.errors import FleetError
+from repro.fleet import build_fleet, run_fleet
+from repro.fleet.eventqueue import (
+    TIME_EPS,
+    FleetEventQueue,
+    LaneHeap,
+    tie_threshold,
+)
+from repro.fleet.scheduler import MIN_EVENT_BUDGET
+
+
+class TestTieThreshold:
+    def test_matches_absolute_epsilon_at_small_times(self):
+        assert tie_threshold(0.5) == 0.5 + 1e-12
+        assert tie_threshold(0.0) == 1e-12
+        assert tie_threshold(1.0) == 1.0 + 1e-12
+
+    def test_scales_relatively_at_large_times(self):
+        """At 10k-job clock magnitudes an absolute 1e-12 would vanish
+        beneath float spacing; the relative form keeps ties real."""
+        big = 1.0e6
+        assert tie_threshold(big) - big == pytest.approx(
+            TIME_EPS * big, rel=1e-3
+        )
+        # The threshold is representable: it differs from `big`.
+        assert tie_threshold(big) > big
+
+
+class TestLaneHeap:
+    def test_set_and_best(self):
+        lane = LaneHeap()
+        assert lane.best() is None
+        lane.set("b", 5.0)
+        lane.set("a", 3.0)
+        assert lane.best() == 3.0
+        assert len(lane) == 2
+        assert "a" in lane and "c" not in lane
+        assert lane.key("b") == 5.0
+
+    def test_rekey_lazily_invalidates_old_entry(self):
+        lane = LaneHeap()
+        lane.set("a", 3.0)
+        lane.set("a", 7.0)  # stale (3.0, "a") stays in the heap
+        assert lane.best() == 7.0
+        assert len(lane) == 1
+        lane.set("a", 1.0)
+        assert lane.best() == 1.0
+
+    def test_set_same_key_is_a_noop(self):
+        lane = LaneHeap()
+        lane.set("a", 2.0)
+        lane.set("a", 2.0)
+        assert len(lane._heap) == 1  # no duplicate entry pushed
+
+    def test_remove_invalidates_in_place(self):
+        lane = LaneHeap()
+        lane.set("a", 1.0)
+        lane.set("b", 2.0)
+        lane.remove("a")
+        assert lane.best() == 2.0
+        lane.remove("b")
+        assert lane.best() is None
+        assert len(lane) == 0
+
+    def test_best_applies_floor_at_pop_time(self):
+        """min_i max(ready_i, L) == max(min_i ready_i, L)."""
+        lane = LaneHeap()
+        lane.set("a", 3.0)
+        lane.set("b", 8.0)
+        assert lane.best(floor=5.0) == 5.0  # floored minimum
+        assert lane.best(floor=1.0) == 3.0  # floor below: raw min
+        assert lane.best() == 3.0
+
+    def test_tied_enumerates_exact_and_epsilon_ties(self):
+        lane = LaneHeap()
+        lane.set("a", 1.0)
+        lane.set("b", 1.0)
+        lane.set("c", 1.0 + 0.5e-12)  # within the relative epsilon
+        lane.set("d", 2.0)
+        assert sorted(lane.tied(1.0)) == ["a", "b", "c"]
+
+    def test_tied_skips_stale_entries(self):
+        lane = LaneHeap()
+        lane.set("a", 1.0)
+        lane.set("b", 1.0)
+        lane.set("a", 9.0)  # stale (1.0, "a") still buried in heap
+        assert lane.tied(1.0) == ["b"]
+
+    def test_tied_restores_the_heap(self):
+        """Valid entries popped during enumeration are re-pushed."""
+        lane = LaneHeap()
+        for job, t in (("a", 1.0), ("b", 1.0), ("c", 1.5)):
+            lane.set(job, t)
+        assert sorted(lane.tied(1.0)) == ["a", "b"]
+        # A second identical query sees the same heap.
+        assert sorted(lane.tied(1.0)) == ["a", "b"]
+        assert lane.best() == 1.0
+        lane.remove("a")
+        lane.remove("b")
+        assert lane.best() == 1.5
+
+    def test_tied_with_floor_above_bound_is_empty(self):
+        """When the link floor exceeds the tie bound, no floored entry
+        can tie: all effective times equal the floor > bound."""
+        lane = LaneHeap()
+        lane.set("a", 1.0)
+        assert lane.tied(1.0, floor=2.0) == []
+        # The heap was not disturbed by the early return.
+        assert lane.best() == 1.0
+
+    def test_tied_with_floor_below_bound_uses_raw_keys(self):
+        lane = LaneHeap()
+        lane.set("a", 3.0)
+        lane.set("b", 3.0)
+        # floor <= bound: flooring maps all of [floor, bound] onto
+        # themselves, so raw-key ties are effective-time ties.
+        assert sorted(lane.tied(3.0, floor=1.0)) == ["a", "b"]
+
+
+class TestFleetEventQueue:
+    def test_best_write_merges_floored_and_unfloored_lanes(self):
+        queue = FleetEventQueue()
+        queue.write.set("w", 3.0)
+        queue.book.set("k", 4.0)
+        # Link free at 5.0: the write part is floored to 5.0, the
+        # bookkeeping candidate is not — book wins.
+        assert queue.best_write(link_free=5.0) == 4.0
+        # Link free at 0: raw write key wins.
+        assert queue.best_write(link_free=0.0) == 3.0
+
+    def test_best_write_with_single_lane(self):
+        queue = FleetEventQueue()
+        assert queue.best_write(link_free=0.0) is None
+        queue.write.set("w", 2.0)
+        assert queue.best_write(link_free=0.0) == 2.0
+        queue.clear_write_lanes("w")
+        assert queue.best_write(link_free=0.0) is None
+        queue.book.set("k", 6.0)
+        assert queue.best_write(link_free=0.0) == 6.0
+
+    def test_tied_writes_spans_both_lanes(self):
+        queue = FleetEventQueue()
+        queue.write.set("w1", 2.0)
+        queue.write.set("w2", 2.0)
+        queue.book.set("k", 2.0)
+        assert sorted(queue.tied_writes(2.0, link_free=0.0)) == [
+            "k",
+            "w1",
+            "w2",
+        ]
+        # A saturating floor silences the write lane but not book.
+        assert queue.tied_writes(2.0, link_free=9.0) == ["k"]
+
+    def test_clear_write_lanes_drops_both(self):
+        queue = FleetEventQueue()
+        queue.write.set("j", 1.0)
+        queue.book.set("j", 1.0)
+        queue.clear_write_lanes("j")
+        assert "j" not in queue.write
+        assert "j" not in queue.book
+
+
+# ----------------------------------------------------------------------
+# Differential matrix: heap vs lockstep bit-identity
+# ----------------------------------------------------------------------
+
+
+def _cache_storage() -> StorageConfig:
+    return StorageConfig(
+        backend=BackendConfig(
+            cache_bytes=256 * 1024, cache_policy="write_back"
+        )
+    )
+
+
+#: (id, FleetConfig) — every named regime the dispatch engines must
+#: agree on, across three seeds, storms, quotas and the cache tier.
+IDENTITY_MATRIX = [
+    (
+        "base-seed11",
+        FleetConfig(num_jobs=5, intervals_per_job=2, seed=11),
+    ),
+    (
+        "priority-seed23",
+        FleetConfig(
+            num_jobs=5,
+            intervals_per_job=2,
+            seed=23,
+            priority_mix=0.5,
+        ),
+    ),
+    (
+        "storm-seed47",
+        FleetConfig(
+            num_jobs=6,
+            intervals_per_job=2,
+            seed=47,
+            priority_mix=0.5,
+            storm_domain="rack",
+            rack_size=2,
+        ),
+    ),
+    (
+        "quota-admission-seed11",
+        FleetConfig(
+            num_jobs=5,
+            intervals_per_job=2,
+            seed=11,
+            per_job_quota_bytes=262_144,
+            admission_mode="dynamic",
+        ),
+    ),
+    (
+        "cache-tier-seed23",
+        FleetConfig(
+            num_jobs=5,
+            intervals_per_job=2,
+            seed=23,
+            storage=_cache_storage(),
+        ),
+    ),
+]
+
+
+class TestDispatchBitIdentity:
+    @pytest.mark.parametrize(
+        "config",
+        [cfg for _, cfg in IDENTITY_MATRIX],
+        ids=[name for name, _ in IDENTITY_MATRIX],
+    )
+    def test_heap_matches_lockstep(self, config):
+        heap_sched, heap_report = run_fleet(config, dispatch="heap")
+        lock_sched, lock_report = run_fleet(
+            config, dispatch="lockstep"
+        )
+        # Full-report equality: every counter, every per-job result,
+        # every bandwidth window, the storm tuple. (Wall-clock pool
+        # timings are compare=False by design.)
+        assert heap_report == lock_report
+        # Event-log equality, payloads included: the engines emitted
+        # the same events in the same order at the same sim times.
+        heap_log = [
+            (e.kind, e.job_id, e.time_s, e.payload)
+            for e in heap_sched.events
+        ]
+        lock_log = [
+            (e.kind, e.job_id, e.time_s, e.payload)
+            for e in lock_sched.events
+        ]
+        assert heap_log == lock_log
+
+    def test_storm_config_actually_fired(self):
+        """Guard the matrix's storm row against silent no-ops."""
+        config = dict(IDENTITY_MATRIX)["storm-seed47"]
+        _, report = run_fleet(config, dispatch="heap")
+        assert report.storm is not None
+        assert len(report.storm[3]) >= 2  # affected jobs
+
+    def test_quota_config_actually_rejected(self):
+        config = dict(IDENTITY_MATRIX)["quota-admission-seed11"]
+        _, report = run_fleet(config, dispatch="heap")
+        assert sum(j.quota_rejections for j in report.jobs) > 0
+
+    def test_cache_config_actually_cached(self):
+        config = dict(IDENTITY_MATRIX)["cache-tier-seed23"]
+        _, report = run_fleet(config, dispatch="heap")
+        assert report.cache_capacity_bytes > 0
+
+
+class TestDispatchPlumbing:
+    def test_unknown_dispatch_mode_rejected(self):
+        config = FleetConfig(num_jobs=2, intervals_per_job=1)
+        with pytest.raises(FleetError):
+            build_fleet(config, dispatch="quantum")
+
+    def test_event_budget_is_derived_and_sufficient(self):
+        """The convergence bound scales with the fleet but never
+        drops below the legacy floor, and real runs fit inside it."""
+        config = FleetConfig(
+            num_jobs=4, intervals_per_job=2, seed=11
+        )
+        scheduler, _ = build_fleet(config)
+        assert scheduler.max_events >= MIN_EVENT_BUDGET
+        scheduler.run()
+        assert len(scheduler.events) < scheduler.max_events
+
+    def test_budget_grows_with_fleet_size(self):
+        small, _ = build_fleet(
+            FleetConfig(num_jobs=2, intervals_per_job=1)
+        )
+        big, _ = build_fleet(
+            FleetConfig(num_jobs=64, intervals_per_job=8)
+        )
+        assert big.max_events > small.max_events

@@ -21,7 +21,13 @@ import pytest
 from repro.config import MiB, StorageConfig
 from repro.distributed.clock import SimClock
 from repro.errors import CapacityExceededError, StorageError
-from repro.storage.bandwidth import BandwidthArbiter
+from repro.storage.bandwidth import (
+    TIER_EXPERIMENTAL,
+    TIER_PROD,
+    TIER_RANK,
+    TIER_SERVING,
+    BandwidthArbiter,
+)
 from repro.storage.object_store import ObjectStore
 
 
@@ -252,3 +258,68 @@ class TestArbiterRegistry:
         store.put("solo/obj", bytes(1000))
         assert store.log.transfers("put")[0].stream == ""
         assert store.arbiter.streams() == []
+
+    def test_streams_view_tracks_late_registrations(self):
+        """The cached sorted view must refresh when streams register."""
+        arbiter = BandwidthArbiter()
+        arbiter.register("jobB")
+        assert [s.stream_id for s in arbiter.streams()] == ["jobB"]
+        arbiter.register("jobA")
+        assert [s.stream_id for s in arbiter.streams()] == [
+            "jobA",
+            "jobB",
+        ]
+
+
+class TestPickOrderParity:
+    def test_single_pass_pick_matches_sorted_scan_reference(self):
+        """The O(k) pick reproduces the historical sorted-scan order.
+
+        The original implementation sorted the candidates and kept the
+        first strictly-smaller tag within the best tier — i.e. the
+        minimum under (tier rank, SFQ tag, stream id). Replay random
+        contention histories and assert the linear-scan pick agrees
+        with that reference on every call, regardless of candidate
+        order.
+        """
+        rng = np.random.default_rng(123)
+        arbiter = BandwidthArbiter()
+        tiers = (TIER_SERVING, TIER_PROD, TIER_EXPERIMENTAL)
+        ids = [f"s{i:02d}" for i in range(12)]
+        for i, stream_id in enumerate(ids):
+            arbiter.register(
+                stream_id,
+                tier=tiers[i % 3],
+                weight=float(1 + i % 2),
+            )
+
+        def reference_pick(candidates: list[str]) -> str:
+            best_rank = min(
+                TIER_RANK[arbiter.stream(s).tier] for s in candidates
+            )
+            best = None
+            best_tag = 0.0
+            for stream_id in sorted(candidates):
+                state = arbiter.stream(stream_id)
+                if TIER_RANK[state.tier] != best_rank:
+                    continue
+                tag = max(
+                    state.virtual_finish, arbiter._virtual_time
+                )
+                if best is None or tag < best_tag:
+                    best, best_tag = stream_id, tag
+            assert best is not None
+            return best
+
+        for _ in range(300):
+            k = int(rng.integers(2, len(ids) + 1))
+            candidates = [
+                str(s) for s in rng.permutation(ids)[:k]
+            ]
+            assert arbiter.pick(candidates) == reference_pick(
+                candidates
+            )
+            served = candidates[int(rng.integers(len(candidates)))]
+            arbiter.on_transfer(
+                served, int(rng.integers(1, 50_000)), "put"
+            )
