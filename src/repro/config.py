@@ -549,6 +549,38 @@ class FleetConfig:
     retention_mode: str = "chain_depth"
     #: Restore-chain length bound under storm-aware retention.
     storm_chain_limit: int = 2
+    #: Derive each job's storm-chain limit adaptively from its expected
+    #: storm read cost vs baseline-refresh write cost (CPR-style)
+    #: instead of the fixed ``storm_chain_limit`` bound. Only
+    #: meaningful under ``retention_mode="storm_aware"``.
+    storm_chain_adaptive: bool = False
+    #: Chunk-read order fleet restores use: ``"manifest"`` (stored
+    #: layout) or ``"hot_first"`` (dense state + hot chunks first, so
+    #: ``time_to_first_batch_s`` lands before the cold tail).
+    restore_order: str = "manifest"
+
+    # -- peer-memory replication tier ----------------------------------
+    #: Number of peer jobs each job mirrors its per-step delta to
+    #: (0 disables replication; the run is bit-identical to a
+    #: replication-free fleet). With replication on, the object store
+    #: only receives retention-boundary baseline flushes.
+    replicate_k: int = 0
+    #: Capacity of each hosted replica ring (bytes). A delta that no
+    #: longer fits evicts the oldest entries by folding them into the
+    #: ring's materialized anchor.
+    peer_ring_bytes: int = 2 * MiB
+    #: Every this-many intervals the owner flushes a full baseline to
+    #: the object store and re-bases its replica rings.
+    baseline_flush_intervals: int = 2
+    #: Peer-to-peer link bandwidth (bytes/sec) for delta mirroring and
+    #: replica reads — host memory over the training fabric, far
+    #: faster than the storage link.
+    peer_bandwidth: float = 8.0 * GiB
+    #: Fixed per-transfer latency of the peer link.
+    peer_latency_s: float = 0.0005
+    #: Cross-rack penalty: a transfer to/from a peer in another rack
+    #: divides bandwidth and multiplies latency by this factor.
+    peer_cross_rack_factor: float = 2.0
 
     #: Silent bit-rot probability per PUT-class write (chunk, dense,
     #: manifest, multipart part): the shared backend is wrapped in a
@@ -685,6 +717,33 @@ class FleetConfig:
             )
         _require(
             self.storm_chain_limit >= 1, "storm_chain_limit must be >= 1"
+        )
+        if self.storm_chain_adaptive:
+            _require(
+                self.retention_mode == "storm_aware",
+                "storm_chain_adaptive needs retention_mode="
+                "'storm_aware' (it tunes the baseline-refresh bound)",
+            )
+        _require(
+            self.restore_order in ("manifest", "hot_first"),
+            f"unknown restore_order {self.restore_order!r}; valid: "
+            "'manifest', 'hot_first'",
+        )
+        _require(
+            0 <= self.replicate_k < self.num_jobs,
+            "replicate_k must be >= 0 and leave at least one "
+            "non-replica job (replicate_k < num_jobs)",
+        )
+        _require(self.peer_ring_bytes > 0, "peer_ring_bytes must be > 0")
+        _require(
+            self.baseline_flush_intervals >= 1,
+            "baseline_flush_intervals must be >= 1",
+        )
+        _require(self.peer_bandwidth > 0, "peer_bandwidth must be > 0")
+        _require(self.peer_latency_s >= 0, "peer_latency_s must be >= 0")
+        _require(
+            self.peer_cross_rack_factor >= 1.0,
+            "peer_cross_rack_factor must be >= 1",
         )
         _require(
             0.0 <= self.bitrot_prob <= 1.0,

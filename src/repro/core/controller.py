@@ -412,7 +412,7 @@ class CheckNRun:
         return event
 
     def begin_checkpoint(
-        self, restage: bool = False
+        self, restage: bool = False, force_full: bool = False
     ) -> CheckpointEvent | PendingCheckpoint:
         """Snapshot, decide full/incremental, and stage the write.
 
@@ -451,6 +451,11 @@ class CheckNRun:
                 incremental_sizes=tuple(self._sizes_since_base),
             )
         )
+        if force_full:
+            # Peer replication only flushes retention-boundary
+            # baselines to the store: every landed write must be a
+            # self-contained full so the ring anchors can re-base on it.
+            decision = KIND_FULL
         if decision != KIND_FULL and self._current_base_id is None:
             # Nothing to increment on (first checkpoint, or baseline
             # cancelled): force a full one.
@@ -634,7 +639,10 @@ class CheckNRun:
             self.interval_index = ordered[-1].interval_index + 1
 
     def begin_restore(
-        self, at_time_s: float | None = None
+        self,
+        at_time_s: float | None = None,
+        order: str = "manifest",
+        hot_rows=None,
     ) -> PendingRestore:
         """Stage a restore of the newest checkpoint valid at ``at_time``.
 
@@ -663,6 +671,8 @@ class CheckNRun:
             self.manifests,
             reader=self.reader,
             policy=self.policy,
+            order=order,
+            hot_rows=hot_rows,
         )
         pending = PendingRestore(
             checkpoint_id=plan[0].checkpoint_id,

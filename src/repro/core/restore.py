@@ -608,6 +608,8 @@ class CheckpointRestorer:
         manifests: dict[str, CheckpointManifest],
         reader: ReaderMaster | None = None,
         policy: CheckpointPolicy | None = None,
+        order: str = ORDER_MANIFEST,
+        hot_rows: dict[int, np.ndarray] | None = None,
     ):
         """Generator: restore *through* corruption down a resume plan.
 
@@ -632,6 +634,8 @@ class CheckpointRestorer:
                     manifests,
                     reader=reader,
                     policy=policy,
+                    order=order,
+                    hot_rows=hot_rows,
                 )
             except (
                 CheckpointCorruptError,

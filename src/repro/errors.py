@@ -81,6 +81,10 @@ class FleetError(ReproError):
     """The multi-job fleet scheduler was configured or driven invalidly."""
 
 
+class ReplicationError(ReproError):
+    """The peer-replication tier was configured or driven invalidly."""
+
+
 class ServingError(ReproError):
     """The inference serving plane was configured or driven invalidly."""
 

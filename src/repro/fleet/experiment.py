@@ -88,6 +88,19 @@ class FleetJobResult:
     model_fp32_bytes: int
     duration_s: float
     restore_samples: tuple[RestoreSample, ...] = ()
+    #: Peer-replication outcome (all 0 with ``replicate_k == 0``):
+    #: restores served from a peer ring, recoveries that fell through
+    #: to the object store because no replica survived, per-step deltas
+    #: mirrored (and their bytes), sends torn by a crash mid-transfer,
+    #: rings this job hosted that died with it, and rings rebuilt by
+    #: anchor resend after a baseline flush.
+    peer_restores: int = 0
+    repl_store_fallbacks: int = 0
+    repl_deltas_sent: int = 0
+    repl_bytes_sent: int = 0
+    repl_partial_discards: int = 0
+    repl_rings_lost: int = 0
+    repl_rings_rebuilt: int = 0
 
 
 @dataclass(frozen=True)
@@ -170,6 +183,20 @@ class FleetRunReport:
     pool_busy_s: float = field(default=0.0, compare=False)
     pool_wait_s: float = field(default=0.0, compare=False)
     pool_overlap_s: float = field(default=0.0, compare=False)
+    #: Peer-replication tier (all 0 when ``FleetConfig.replicate_k``
+    #: is 0): replica count, fleet-wide recovery-ladder outcomes
+    #: (peer restores vs store fallbacks), mirror traffic, torn sends
+    #: discarded at crash boundaries, ring lifecycle counters, and the
+    #: delta-log evictions the bounded rings folded into their anchors.
+    replicate_k: int = 0
+    repl_peer_restores: int = 0
+    repl_store_fallbacks: int = 0
+    repl_deltas_sent: int = 0
+    repl_bytes_sent: int = 0
+    repl_partial_discards: int = 0
+    repl_rings_lost: int = 0
+    repl_rings_rebuilt: int = 0
+    repl_ring_evictions: int = 0
 
     @property
     def num_jobs(self) -> int:
@@ -277,6 +304,13 @@ def summarize_fleet(
                 model_fp32_bytes=job.model_fp32_bytes(),
                 duration_s=job.clock.now,
                 restore_samples=tuple(job.restore_samples),
+                peer_restores=job.peer_restores,
+                repl_store_fallbacks=job.repl_store_fallbacks,
+                repl_deltas_sent=job.repl_deltas_sent,
+                repl_bytes_sent=job.repl_bytes_sent,
+                repl_partial_discards=job.repl_partial_discards,
+                repl_rings_lost=job.repl_rings_lost,
+                repl_rings_rebuilt=job.repl_rings_rebuilt,
             )
         )
     puts = store.log.transfers("put")
@@ -325,8 +359,37 @@ def summarize_fleet(
             cache_dirty_backlog=cache.dirty_backlog,
             cache_dirty_bytes=cache.dirty_bytes,
         )
+    repl_fields = {}
+    replicator = getattr(scheduler, "replicator", None)
+    if replicator is not None:
+        repl_fields = dict(
+            replicate_k=scheduler.config.replicate_k,
+            repl_peer_restores=sum(
+                r.peer_restores for r in job_results
+            ),
+            repl_store_fallbacks=sum(
+                r.repl_store_fallbacks for r in job_results
+            ),
+            repl_deltas_sent=sum(
+                r.repl_deltas_sent for r in job_results
+            ),
+            repl_bytes_sent=sum(
+                r.repl_bytes_sent for r in job_results
+            ),
+            repl_partial_discards=sum(
+                r.repl_partial_discards for r in job_results
+            ),
+            repl_rings_lost=sum(
+                r.repl_rings_lost for r in job_results
+            ),
+            repl_rings_rebuilt=sum(
+                r.repl_rings_rebuilt for r in job_results
+            ),
+            repl_ring_evictions=replicator.total_ring_evictions,
+        )
     return FleetRunReport(
         **cache_fields,
+        **repl_fields,
         jobs=tuple(job_results),
         duration_s=duration,
         total_put_bytes_logical=sum(
@@ -442,6 +505,19 @@ def format_fleet_report(report: FleetRunReport) -> str:
         f"{report.pool_wait_s:.3f} s blocked, "
         f"{report.pool_overlap_s:.3f} s overlapped",
     ]
+    if report.replicate_k > 0:
+        lines += [
+            f"peer replication (k={report.replicate_k}): "
+            f"peer restores: {report.repl_peer_restores}"
+            f"  store fallbacks: {report.repl_store_fallbacks}"
+            f"  deltas sent: {report.repl_deltas_sent}"
+            f" ({report.repl_bytes_sent / 2**20:.2f} MiB)",
+            f"replication rings: "
+            f"partial discards: {report.repl_partial_discards}"
+            f"  lost: {report.repl_rings_lost}"
+            f"  rebuilt: {report.repl_rings_rebuilt}"
+            f"  evictions: {report.repl_ring_evictions}",
+        ]
     if report.cache_capacity_bytes > 0:
         lines += [
             f"cache tier ({report.cache_policy}, "
@@ -613,6 +689,14 @@ def format_storm_report(report: FleetRunReport) -> str:
             f"  |  cache evictions: {report.cache_evictions}"
             f"  |  dirty flushes: {report.cache_dirty_flushes}"
             f"  |  dirty backlog: {report.cache_dirty_backlog}"
+        )
+    if report.replicate_k > 0:
+        lines.append(
+            f"peer replication (k={report.replicate_k}): "
+            f"peer restores: {report.repl_peer_restores}"
+            f"  |  store fallbacks: {report.repl_store_fallbacks}"
+            f"  |  partial discards: {report.repl_partial_discards}"
+            f"  |  rings lost: {report.repl_rings_lost}"
         )
     lines.append("")
     header = (

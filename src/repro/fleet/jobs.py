@@ -16,6 +16,7 @@ arbiter.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -121,6 +122,83 @@ def sample_fleet_specs(config: FleetConfig) -> list[FleetJobSpec]:
     return specs
 
 
+#: Lookups per sample in every fleet job's synthetic model (the
+#: ``hotness`` handed to :class:`~repro.config.ModelConfig` below); the
+#: adaptive chain bound uses it to predict per-interval touched rows.
+FLEET_HOTNESS = 4
+
+
+def expected_interval_delta_bytes(
+    spec: FleetJobSpec, fleet: FleetConfig
+) -> int:
+    """Predicted incremental-checkpoint bytes one interval produces.
+
+    An interval trains ``interval_batches`` batches of ``batch_size``
+    samples, each touching ``FLEET_HOTNESS`` rows per table; the
+    touched set saturates at the table itself. Each touched row ships
+    its fp32 weight and optimizer-accumulator slices.
+    """
+    lookups = (
+        spec.interval_batches * fleet.batch_size * FLEET_HOTNESS
+    )
+    rows_touched = min(spec.rows_per_table, lookups)
+    bytes_per_row = fleet.embedding_dim * 4 * 2
+    return spec.num_tables * rows_touched * bytes_per_row
+
+
+def spec_baseline_bytes(spec: FleetJobSpec, fleet: FleetConfig) -> int:
+    """Bytes a full (baseline) checkpoint writes for this spec."""
+    rows = spec.num_tables * spec.rows_per_table
+    return rows * fleet.embedding_dim * 4 * 2
+
+
+def adaptive_chain_limit(
+    baseline_bytes: int,
+    interval_delta_bytes: int,
+    storm_read_weight: float = 1.0,
+    floor: int = 1,
+    cap: int = 8,
+) -> int:
+    """CPR-style per-job chain bound from read cost vs refresh cost.
+
+    A chain bound ``L`` costs ``baseline/L`` amortized refresh-write
+    bytes per interval and, under a storm, up to ``L * delta`` extra
+    read bytes down the chain. Weighting reads by ``storm_read_weight``
+    (the write/read bandwidth ratio: how expensive a read byte is
+    relative to a write byte) and minimizing the sum gives
+
+        L* = sqrt(baseline / (storm_read_weight * delta)),
+
+    clamped to ``[floor, cap]``. Big models with sparse touch sets
+    earn long chains; small hot models refresh almost every interval.
+    """
+    if baseline_bytes <= 0 or interval_delta_bytes <= 0:
+        return floor
+    optimum = math.sqrt(
+        baseline_bytes
+        / (max(storm_read_weight, 1e-12) * interval_delta_bytes)
+    )
+    return max(floor, min(cap, int(round(optimum))))
+
+
+def spec_chain_limit(
+    spec: FleetJobSpec, fleet: FleetConfig
+) -> int | None:
+    """The restore-chain bound a spec's job runs under (None = off)."""
+    if fleet.retention_mode != "storm_aware":
+        return None
+    if not fleet.storm_chain_adaptive:
+        return fleet.storm_chain_limit
+    storage = fleet.storage
+    return adaptive_chain_limit(
+        baseline_bytes=spec_baseline_bytes(spec, fleet),
+        interval_delta_bytes=expected_interval_delta_bytes(spec, fleet),
+        storm_read_weight=(
+            storage.write_bandwidth / storage.read_bandwidth
+        ),
+    )
+
+
 def spec_experiment_config(
     spec: FleetJobSpec, fleet: FleetConfig
 ) -> ExperimentConfig:
@@ -135,7 +213,7 @@ def spec_experiment_config(
             embedding_dim=dim,
             bottom_mlp=(16, dim),
             top_mlp=(16, 1),
-            hotness=4,
+            hotness=FLEET_HOTNESS,
             seed=spec.seed,
         ),
         data=DataConfig(
@@ -153,12 +231,10 @@ def spec_experiment_config(
             bit_width=spec.bit_width,
             keep_last=fleet.keep_last,
             # Storm-aware retention bounds every job's restore chain so
-            # a correlated storm re-reads short chains per job.
-            max_chain_length=(
-                fleet.storm_chain_limit
-                if fleet.retention_mode == "storm_aware"
-                else None
-            ),
+            # a correlated storm re-reads short chains per job; the
+            # adaptive mode derives the bound from the job's own
+            # refresh-write vs storm-read byte trade-off.
+            max_chain_length=spec_chain_limit(spec, fleet),
         ),
         failures=fleet.failures,
     )
@@ -178,6 +254,15 @@ class RestoreSample:
     cause: str  # "failure" (independent) or "storm" (correlated)
     latency_s: float
     service_s: float
+    #: Where the restored state came from: ``"store"`` (object store,
+    #: possibly through ``plan_resume`` fallback), ``"peer_same_rack"``
+    #: or ``"peer_cross_rack"`` (a live replica ring).
+    source: str = "store"
+    #: Crash-to-first-trainable-batch latency — equals ``latency_s``
+    #: for manifest-order store restores, shrinks under
+    #: ``restore_order="hot_first"``, and equals the peer-link
+    #: transfer time for replica restores.
+    time_to_first_batch_s: float = 0.0
 
     @property
     def degradation(self) -> float:
@@ -235,6 +320,23 @@ class FleetJob:
     #: the threshold unit for both write- and read-side admission.
     measured_interval_s: float | None = None
     restore_samples: list[RestoreSample] = field(default_factory=list)
+    # -- peer-replication tier counters (all zero with replication off)
+    #: Recoveries served from a live replica ring instead of the store.
+    peer_restores: int = 0
+    #: Recoveries that wanted a replica but found none alive (same
+    #: failure domain took the peers too) and fell back to the store.
+    repl_store_fallbacks: int = 0
+    #: Step deltas committed to peer rings.
+    repl_deltas_sent: int = 0
+    #: Bytes shipped over the peer link (deltas + anchor rebuilds).
+    repl_bytes_sent: int = 0
+    #: Mid-send crashes whose partial ring write was discarded.
+    repl_partial_discards: int = 0
+    #: Replica rings lost to a peer-host death or a post-recovery
+    #: resync (rebuilt at the next baseline flush).
+    repl_rings_lost: int = 0
+    #: Rings re-established by shipping a fresh full anchor.
+    repl_rings_rebuilt: int = 0
 
     @property
     def job_id(self) -> str:

@@ -79,6 +79,7 @@ from ..errors import (
 from ..failures.domains import StormPlan, assign_domains, plan_storm
 from ..failures.models import WeibullFailures
 from ..failures.traces import FailureTrace
+from ..replication import PeerReplicator, restore_from_peer
 from ..storage.bandwidth import TIER_EXPERIMENTAL, TIER_PROD, TIER_RANK
 from ..storage.engine import AdmissionController
 from ..storage.object_store import ObjectStore
@@ -109,7 +110,7 @@ class FleetEvent:
 
     kind: str  # "written", "write_step", "skipped", "deferred",
     # "crash", "quota", "write_failed", "preempted", "restaged",
-    # or "storm"
+    # "replicated", or "storm"
     job_id: str
     time_s: float
     payload: dict = field(default_factory=dict)
@@ -227,6 +228,14 @@ class FleetScheduler:
         self._jobs_by_id = {job.job_id: job for job in self.jobs}
         if len(self._jobs_by_id) != len(self.jobs):
             raise FleetError("duplicate job ids in fleet")
+        #: Peer-memory replication tier (None = off). Every side
+        #: effect below is gated on this being non-None, so
+        #: ``replicate_k=0`` runs stay bit-identical to the seed.
+        self.replicator: PeerReplicator | None = None
+        if config.replicate_k > 0:
+            self.replicator = PeerReplicator(
+                config, self.jobs, store.arbiter
+            )
         self._staged_by_tier: dict[str, int] = {}
         self._staged_total = 0
         self._staged_tier_of: dict[str, str | None] = {}
@@ -674,7 +683,9 @@ class FleetScheduler:
         ):
             return False
         job.requeue_write = False
-        began = job.controller.begin_checkpoint(restage=True)
+        began = job.controller.begin_checkpoint(
+            restage=True, force_full=self.replicator is not None
+        )
         if isinstance(began, CheckpointEvent):
             # Previous finished write still in flight: the preempted
             # checkpoint is simply lost (paper-rule skip).
@@ -811,6 +822,12 @@ class FleetScheduler:
                 for job, ctx in crashed:
                     if TIER_RANK[job.tier] != rank:
                         continue
+                    # Peer recoveries bypass the storage link — a live
+                    # replica sidesteps the storm drain entirely.
+                    event = self._try_peer_recovery(job, ctx, "storm")
+                    if event is not None:
+                        finished.append((rank, event))
+                        continue
                     pending = self._begin_restore_paced(job)
                     if pending is None:
                         event = self._finish_recovery(
@@ -893,9 +910,15 @@ class FleetScheduler:
             # train past the target.
             return
         job.controller.coordinator.grant_interval(1)
-        job.trainer.train_one_batch()
+        result = job.trainer.train_one_batch()
         job.total_batches_trained += 1
         job.batches_left -= 1
+        if self.replicator is not None:
+            # Per-iteration checkpoint: mirror this step's delta to the
+            # job's peer rings before the failure check — a send that
+            # straddles the scheduled failure is discarded (partial
+            # ring writes never survive) and forces the crash below.
+            self.replicator.on_step(job, result)
         if (
             self.config.inject_failures
             and job.next_failure_s is not None
@@ -929,6 +952,19 @@ class FleetScheduler:
                 FleetEvent("skipped", job.job_id, job.clock.now, {})
             )
             return
+        if (
+            self.replicator is not None
+            and not self.replicator.is_flush_interval(job)
+        ):
+            # Peer replication suppresses non-boundary store writes:
+            # every batch of this interval already landed on K peer
+            # rings, so the store only sees baseline flushes every
+            # ``baseline_flush_intervals`` boundaries.
+            job.controller.record_skip("replicated")
+            self._emit(
+                FleetEvent("replicated", job.job_id, job.clock.now, {})
+            )
+            return
         decision = self.admission.decide(
             stream=job.job_id,
             tier=job.tier,
@@ -952,7 +988,14 @@ class FleetScheduler:
                 )
             )
             return
-        began = job.controller.begin_checkpoint()
+        if self.replicator is not None:
+            # Baseline flush: fold every surviving ring's log into its
+            # anchor (the anchors re-base on the flushed full) and
+            # re-establish rings lost to peer-host deaths.
+            self.replicator.rebase_rings(job)
+        began = job.controller.begin_checkpoint(
+            force_full=self.replicator is not None
+        )
         if isinstance(began, CheckpointEvent):
             # The previous write's manifest has not landed yet
             # (valid_at_s in the job's future): paper-rule skip.
@@ -980,6 +1023,12 @@ class FleetScheduler:
             job.storm_crashes += 1
         else:
             job.failures_injected += 1
+        if self.replicator is not None:
+            # Replica rings living in this host's memory die with it.
+            # The storm drain runs bookkeeping for *every* victim
+            # before any recovery, so replica liveness at recovery
+            # time reflects the whole correlated blast radius.
+            self.replicator.on_job_death(job.job_id)
         job.requeue_write = False
         torn_id: str | None = None
         torn_chunks = 0
@@ -1081,7 +1130,9 @@ class FleetScheduler:
             )
             job.clock.advance(wait, "restore-admission")
         try:
-            return job.controller.begin_restore()
+            return job.controller.begin_restore(
+                order=self.config.restore_order
+            )
         except CheckpointNotFoundError:  # pragma: no cover - raced
             return None
 
@@ -1115,6 +1166,12 @@ class FleetScheduler:
                         report.finished_at_s - ctx["crash_time_s"],
                     ),
                     service_s=sum(t.duration_s for t in gets),
+                    source="store",
+                    time_to_first_batch_s=max(
+                        0.0,
+                        report.first_batch_ready_s
+                        - ctx["crash_time_s"],
+                    ),
                 )
             )
         else:
@@ -1132,6 +1189,11 @@ class FleetScheduler:
             after = 0
         job.wasted_batches += max(0, ctx["batches_before"] - after)
         job.batches_left = job.spec.interval_batches
+        if self.replicator is not None:
+            # The store (or scratch) rewound the job behind its own
+            # replica rings; drop them so the delta log never forks.
+            # They re-establish at the job's next baseline flush.
+            self.replicator.resync_after_recovery(job)
         if ctx["torn_id"] is not None:
             # The recovered controller never re-adopts a torn write;
             # scrub its orphaned chunks from the shared store.
@@ -1153,6 +1215,64 @@ class FleetScheduler:
             },
         )
 
+    def _try_peer_recovery(
+        self, job: FleetJob, ctx: dict, cause: str
+    ) -> FleetEvent | None:
+        """Recover from the nearest live replica ring, if one survives.
+
+        The recovery-preference ladder's first two rungs: a same-rack
+        ring beats a cross-rack ring, newest replica step first within
+        each. The replica read rides the *peer* link only — no storage
+        timeline, no restore-storm contention — and restores the
+        owner's exact mid-interval position (reader, countdown,
+        interval index), so at most the one batch a mid-send crash
+        discarded is retrained. Returns the crash event, or None to
+        send the caller down the object-store (``plan_resume``) rung.
+        """
+        if self.replicator is None:
+            return None
+        ring = self.replicator.best_replica(job.job_id)
+        if ring is None:
+            # Peers died in the same failure domain: storage fallback.
+            job.repl_store_fallbacks += 1
+            return None
+        self._progress_dirty = True
+        result = restore_from_peer(job, ring, self.replicator)
+        job.peer_restores += 1
+        job.wasted_batches += max(
+            0, ctx["batches_before"] - result.step
+        )
+        if ctx["torn_id"] is not None:
+            self._scrub_torn(job, ctx["torn_id"])
+        job.next_failure_s = job.clock.now + self._sample_ttf(job)
+        source = (
+            "peer_same_rack" if ring.same_rack else "peer_cross_rack"
+        )
+        job.restore_samples.append(
+            RestoreSample(
+                cause=cause,
+                latency_s=result.latency_s,
+                service_s=result.latency_s,
+                source=source,
+                time_to_first_batch_s=result.latency_s,
+            )
+        )
+        return FleetEvent(
+            "crash",
+            job.job_id,
+            job.clock.now,
+            {
+                "cause": cause,
+                "restored_from": f"peer:{result.host_id}",
+                "fallback_depth": 0,
+                "torn_checkpoint": ctx["torn_id"],
+                "torn_chunks": ctx["torn_chunks"],
+                "valid_before": ctx["valid_before"],
+                "peer_step": result.step,
+                "peer_source": source,
+            },
+        )
+
     def _crash(self, job: FleetJob, cause: str = "failure") -> None:
         """An independent crash: staged restore, drained immediately.
 
@@ -1162,6 +1282,10 @@ class FleetScheduler:
         storm drain interleaves.
         """
         ctx = self._crash_bookkeeping(job, cause)
+        event = self._try_peer_recovery(job, ctx, cause)
+        if event is not None:
+            self._emit(event)
+            return
         pending = self._begin_restore_paced(job)
         if pending is not None:
             try:

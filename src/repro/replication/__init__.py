@@ -1,0 +1,26 @@
+"""Peer-memory replication tier (Checkmate-style, PAPERS.md).
+
+Every fleet job mirrors its per-step training delta to K peer jobs'
+bounded memory rings over the arbitrated link; the object store only
+receives retention-boundary baseline flushes, and recovery prefers
+the nearest live replica (same rack > cross rack > object store).
+See ``docs/replication.md`` for the recovery ladder, ring sizing and
+failure-domain caveats.
+"""
+
+from .recovery import PeerRestoreResult, restore_from_peer
+from .replicator import PeerReplicator, replication_stream_id
+from .ring import MemoryRing, RingReservation
+from .state import ReplicaState, StepDelta, capture_delta
+
+__all__ = [
+    "MemoryRing",
+    "PeerReplicator",
+    "PeerRestoreResult",
+    "ReplicaState",
+    "RingReservation",
+    "StepDelta",
+    "capture_delta",
+    "replication_stream_id",
+    "restore_from_peer",
+]

@@ -1,0 +1,84 @@
+"""Peer-replica recovery: load a materialized ring back into a job.
+
+The scheduler calls :func:`restore_from_peer` when
+:meth:`~repro.replication.replicator.PeerReplicator.best_replica`
+found a live ring. The read happens over the *peer* link — the
+owner's clock pays the full-replica transfer, the arbiter accounts
+the bytes on the ``repl:`` stream, and the object store's timeline is
+never touched (which is exactly why peer restores sidestep a restore
+storm's link contention).
+
+Unlike a store restore, the loaded state is bit-exact: replica deltas
+were never quantized, the reader resumes at the captured position,
+and the scheduler countdown (``batches_left``) plus the controller's
+interval index are restored, so the job replays at most the one batch
+a mid-send crash discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .replicator import replication_stream_id
+from .ring import MemoryRing
+
+
+@dataclass(frozen=True)
+class PeerRestoreResult:
+    """What one peer-replica recovery did, for samples and events."""
+
+    #: Peer whose ring served the replica.
+    host_id: str
+    same_rack: bool
+    #: ``batches_trained`` the job resumed at.
+    step: int
+    #: Full-replica bytes moved over the peer link.
+    nbytes: int
+    #: Peer-link transfer time (crash-to-training-ready latency).
+    latency_s: float
+    interval_index: int
+    batches_left: int
+
+
+def restore_from_peer(job, ring: MemoryRing, replicator) -> PeerRestoreResult:
+    """Materialize ``ring`` and load it into the crashed ``job``."""
+    state = ring.materialize()
+    nbytes = state.total_nbytes
+    latency_s = replicator.peer_time_s(nbytes, ring.same_rack)
+    job.clock.advance(latency_s, "peer-restore")
+    replicator.arbiter.on_transfer(
+        replication_stream_id(job.job_id), nbytes, "get"
+    )
+
+    model = job.model
+    for table_id in range(model.num_tables):
+        model.table_weight(table_id)[:] = state.table_weights[table_id]
+        model.table_accumulator(table_id)[:] = state.table_accumulators[
+            table_id
+        ]
+    model.load_dense_state(state.dense)
+    model.batches_trained = state.batches_trained
+    model.samples_trained = state.samples_trained
+    job.reader.restore(state.reader_state)
+
+    controller = job.controller
+    # Store writes under replication are forced-full baselines, so the
+    # incremental trackers carry no restore obligations; reset them to
+    # the same post-restore state a store recovery would leave.
+    controller.tracker_set.reset_all()
+    controller.interval_index = state.interval_index
+    controller.stats.restores += 1
+    job.batches_left = state.batches_left
+
+    # Rings at another step (a mid-send crash committed to only some
+    # peers) would fork the delta log; drop them until the next flush.
+    replicator.resync_after_recovery(job, restored_step=state.step)
+    return PeerRestoreResult(
+        host_id=ring.host_id,
+        same_rack=ring.same_rack,
+        step=state.batches_trained,
+        nbytes=nbytes,
+        latency_s=latency_s,
+        interval_index=state.interval_index,
+        batches_left=state.batches_left,
+    )

@@ -1,0 +1,207 @@
+"""Bounded peer-memory delta rings for the replication tier.
+
+Checkmate-style peer replication keeps, on each replica host, a
+*materialized anchor* (a full copy of the owner's state at the last
+baseline) plus a bounded log of per-step deltas. The ring's byte
+budget bounds the **delta log only**: the anchor is the replica itself
+and always exists, so capacity pressure never loses data — the oldest
+delta is *folded into* the anchor instead of dropped, preserving the
+invariant
+
+    materialized replica = anchor + (all committed deltas, in order).
+
+Appends are two-phase (``reserve`` then ``commit``/``abort``) so a
+sender that dies mid-transfer leaves no partial delta behind: an
+aborted reservation is discarded and the ring still materializes to a
+consistent pre-send state. A delta larger than the whole ring budget
+is legal — it *folds through*, applied straight into the anchor at
+commit, which keeps a tiny ring correct (just with no rewind depth).
+
+The ring is deliberately agnostic about payloads. Anchors expose
+``apply(delta)``, ``copy()`` and a ``step`` attribute; deltas expose
+``step``. That keeps the invariants unit-testable with dict-backed
+fakes (see ``tests/test_replication_ring.py``) independent of the
+DLRM state machinery in :mod:`repro.replication.state`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..errors import ReplicationError
+
+
+@dataclass
+class RingReservation:
+    """A reserved (not yet committed) slot for one delta append."""
+
+    nbytes: int
+    #: Reserved payload exceeds the whole ring budget; on commit it
+    #: is folded straight into the anchor instead of logged.
+    fold_through: bool
+    _active: bool = field(default=True, repr=False)
+
+
+@dataclass(frozen=True)
+class _Entry:
+    step: int
+    nbytes: int
+    delta: object
+
+
+class MemoryRing:
+    """One owner's bounded delta log in one peer host's memory."""
+
+    def __init__(
+        self,
+        owner_id: str,
+        host_id: str,
+        capacity_bytes: int,
+        anchor,
+        same_rack: bool = True,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ReplicationError(
+                f"ring capacity must be positive, got {capacity_bytes}"
+            )
+        self.owner_id = owner_id
+        self.host_id = host_id
+        self.capacity_bytes = capacity_bytes
+        self.same_rack = same_rack
+        self.anchor = anchor
+        self._entries: deque[_Entry] = deque()
+        self.used_bytes = 0
+        self._reserved_bytes = 0
+        # Counters surfaced through the replicator's fleet report.
+        self.commits = 0
+        self.aborts = 0
+        self.evictions = 0
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Committed deltas currently in the log."""
+        return len(self._entries)
+
+    @property
+    def last_step(self) -> int:
+        """Step the materialized replica represents."""
+        if self._entries:
+            return self._entries[-1].step
+        return self.anchor.step
+
+    def check_invariants(self) -> None:
+        """Assert the ring's structural invariants (test hook)."""
+        total = sum(entry.nbytes for entry in self._entries)
+        if total != self.used_bytes:
+            raise ReplicationError(
+                f"ring accounting drift: used={self.used_bytes} "
+                f"sum={total}"
+            )
+        if self.used_bytes > self.capacity_bytes:
+            raise ReplicationError(
+                f"ring over budget: {self.used_bytes} > "
+                f"{self.capacity_bytes}"
+            )
+        steps = [self.anchor.step] + [e.step for e in self._entries]
+        for older, newer in zip(steps, steps[1:]):
+            if newer <= older:
+                raise ReplicationError(
+                    f"non-monotonic ring steps: {steps}"
+                )
+
+    # -- two-phase append ----------------------------------------------
+
+    def reserve(self, nbytes: int) -> RingReservation:
+        """Reserve space for one delta, evicting oldest-first to fit.
+
+        Eviction folds deltas into the anchor (never discards them), so
+        a reservation always succeeds; payloads larger than the entire
+        budget come back marked ``fold_through``.
+        """
+        if nbytes < 0:
+            raise ReplicationError(
+                f"delta size must be >= 0, got {nbytes}"
+            )
+        if nbytes > self.capacity_bytes:
+            return RingReservation(nbytes=nbytes, fold_through=True)
+        while (
+            self.used_bytes + self._reserved_bytes + nbytes
+            > self.capacity_bytes
+            and self._entries
+        ):
+            self._evict_oldest()
+        self._reserved_bytes += nbytes
+        return RingReservation(nbytes=nbytes, fold_through=False)
+
+    def commit(self, reservation: RingReservation, delta) -> None:
+        """Land a reserved delta; the replica now includes it."""
+        self._close(reservation)
+        if delta.step <= self.last_step:
+            raise ReplicationError(
+                f"delta step {delta.step} not ahead of replica step "
+                f"{self.last_step} (owner {self.owner_id} on "
+                f"{self.host_id})"
+            )
+        if reservation.fold_through:
+            # Older logged deltas must fold first, or materialize()
+            # would replay them on top of the newer fold-through state.
+            while self._entries:
+                self._evict_oldest()
+            self.anchor.apply(delta)
+            self.evictions += 1
+        else:
+            self._reserved_bytes -= reservation.nbytes
+            self._entries.append(
+                _Entry(
+                    step=delta.step,
+                    nbytes=reservation.nbytes,
+                    delta=delta,
+                )
+            )
+            self.used_bytes += reservation.nbytes
+        self.commits += 1
+
+    def abort(self, reservation: RingReservation) -> None:
+        """Discard a reservation: a partial send leaves no trace."""
+        self._close(reservation)
+        if not reservation.fold_through:
+            self._reserved_bytes -= reservation.nbytes
+        self.aborts += 1
+
+    def _close(self, reservation: RingReservation) -> None:
+        if not reservation._active:
+            raise ReplicationError(
+                "reservation already committed or aborted"
+            )
+        reservation._active = False
+
+    def _evict_oldest(self) -> None:
+        entry = self._entries.popleft()
+        self.used_bytes -= entry.nbytes
+        self.anchor.apply(entry.delta)
+        self.evictions += 1
+
+    # -- reads ---------------------------------------------------------
+
+    def materialize(self):
+        """Return the replica state at ``last_step`` (non-destructive)."""
+        state = self.anchor.copy()
+        for entry in self._entries:
+            state.apply(entry.delta)
+        return state
+
+    def rebase(self) -> None:
+        """Fold the whole log into the anchor (baseline-flush hook).
+
+        Run when the owner lands a store baseline: the anchor then
+        matches the flushed full checkpoint and the log budget is free
+        for the next flush window. Costs no transfer — the host
+        already holds every byte being folded.
+        """
+        while self._entries:
+            entry = self._entries.popleft()
+            self.used_bytes -= entry.nbytes
+            self.anchor.apply(entry.delta)

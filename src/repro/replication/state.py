@@ -1,0 +1,190 @@
+"""Replica payloads: per-step deltas and materialized anchors.
+
+Two payload types flow through :class:`~repro.replication.ring.MemoryRing`:
+
+* :class:`StepDelta` — everything one training step changed, captured
+  right after ``train_one_batch``: the exact embedding rows the step
+  touched (weights *and* optimizer accumulators, from
+  ``StepResult.touched_rows``), a copy of the small dense half, the
+  reader's position, and the progress scalars a resume needs
+  (``batches_trained``, the scheduler's ``batches_left``, the
+  controller's interval index).
+* :class:`ReplicaState` — a full materialized copy of the owner's
+  state. It serves both as the ring *anchor* (deltas fold into it) and
+  as the object a peer restore loads back into a dead job.
+
+Unlike store checkpoints, deltas are **not quantized**: a replica
+restore reproduces the owner's tensors bit-for-bit, which is what the
+recovery-equivalence differential suite asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.state import ReaderState
+
+#: Fixed per-delta overhead (headers, reader position, scalars).
+DELTA_OVERHEAD_BYTES = 64
+
+
+@dataclass(frozen=True)
+class StepDelta:
+    """All state one training step changed, keyed by the step index."""
+
+    #: Owner's ``batches_trained`` *after* this step landed.
+    step: int
+    #: Per-table touched row indices (sorted, unique).
+    rows: dict[int, np.ndarray]
+    #: Per-table weight slices at those rows.
+    weights: dict[int, np.ndarray]
+    #: Per-table optimizer-accumulator slices at those rows.
+    accumulators: dict[int, np.ndarray]
+    #: Full dense half (MLPs + their optimizer state) — small.
+    dense: dict[str, np.ndarray]
+    reader_state: ReaderState
+    samples_trained: int
+    #: Scheduler countdown to the owner's next checkpoint trigger.
+    batches_left: int
+    #: Controller interval index at capture time.
+    interval_index: int
+    #: Wire size charged to the ring budget and the peer link.
+    nbytes: int
+
+
+def capture_delta(job, result) -> StepDelta:
+    """Build the step delta for one just-finished training batch.
+
+    ``result`` is the :class:`~repro.model.dlrm.StepResult` the batch
+    returned; its ``touched_rows`` names exactly the embedding rows
+    the optimizer wrote, so the delta carries no untouched state.
+    """
+    model = job.model
+    rows: dict[int, np.ndarray] = {}
+    weights: dict[int, np.ndarray] = {}
+    accumulators: dict[int, np.ndarray] = {}
+    nbytes = DELTA_OVERHEAD_BYTES
+    for table_id, touched in sorted(result.touched_rows.items()):
+        idx = np.array(touched, dtype=np.int64)
+        rows[table_id] = idx
+        weights[table_id] = model.table_weight(table_id)[idx]
+        accumulators[table_id] = model.table_accumulator(table_id)[idx]
+        nbytes += (
+            idx.nbytes
+            + weights[table_id].nbytes
+            + accumulators[table_id].nbytes
+        )
+    dense = model.dense_state()
+    for array in dense.values():
+        nbytes += array.nbytes
+    return StepDelta(
+        step=model.batches_trained,
+        rows=rows,
+        weights=weights,
+        accumulators=accumulators,
+        dense=dense,
+        reader_state=job.reader.collect_state(),
+        samples_trained=model.samples_trained,
+        batches_left=job.batches_left,
+        interval_index=job.controller.interval_index,
+        nbytes=nbytes,
+    )
+
+
+class ReplicaState:
+    """A materialized full replica of one job's training state."""
+
+    def __init__(
+        self,
+        table_weights: dict[int, np.ndarray],
+        table_accumulators: dict[int, np.ndarray],
+        dense: dict[str, np.ndarray],
+        reader_state: ReaderState,
+        batches_trained: int,
+        samples_trained: int,
+        batches_left: int,
+        interval_index: int,
+    ) -> None:
+        self.table_weights = table_weights
+        self.table_accumulators = table_accumulators
+        self.dense = dense
+        self.reader_state = reader_state
+        self.batches_trained = batches_trained
+        self.samples_trained = samples_trained
+        self.batches_left = batches_left
+        self.interval_index = interval_index
+
+    @property
+    def step(self) -> int:
+        """Ring-anchor protocol: the step this state represents."""
+        return self.batches_trained
+
+    @property
+    def total_nbytes(self) -> int:
+        """Bytes a full-replica transfer (rebuild or restore) moves."""
+        total = DELTA_OVERHEAD_BYTES
+        for table_id in self.table_weights:
+            total += self.table_weights[table_id].nbytes
+            total += self.table_accumulators[table_id].nbytes
+        for array in self.dense.values():
+            total += array.nbytes
+        return total
+
+    @classmethod
+    def from_job(cls, job) -> "ReplicaState":
+        """Capture a job's full live state (initial/rebuilt anchor)."""
+        model = job.model
+        return cls(
+            table_weights={
+                t: model.table_weight(t).copy()
+                for t in range(model.num_tables)
+            },
+            table_accumulators={
+                t: model.table_accumulator(t).copy()
+                for t in range(model.num_tables)
+            },
+            dense=model.dense_state(),
+            reader_state=job.reader.collect_state(),
+            batches_trained=model.batches_trained,
+            samples_trained=model.samples_trained,
+            batches_left=job.batches_left,
+            interval_index=job.controller.interval_index,
+        )
+
+    def apply(self, delta: StepDelta) -> None:
+        """Fold one step delta into this state (in step order).
+
+        Deltas are shared across a job's K rings, so everything taken
+        from the delta is copied — two anchors must never alias.
+        """
+        for table_id, idx in delta.rows.items():
+            self.table_weights[table_id][idx] = delta.weights[table_id]
+            self.table_accumulators[table_id][idx] = delta.accumulators[
+                table_id
+            ]
+        self.dense = {k: v.copy() for k, v in delta.dense.items()}
+        self.reader_state = delta.reader_state
+        self.batches_trained = delta.step
+        self.samples_trained = delta.samples_trained
+        self.batches_left = delta.batches_left
+        self.interval_index = delta.interval_index
+
+    def copy(self) -> "ReplicaState":
+        """Deep copy (ring ``materialize`` works on a throwaway)."""
+        return ReplicaState(
+            table_weights={
+                t: w.copy() for t, w in self.table_weights.items()
+            },
+            table_accumulators={
+                t: a.copy()
+                for t, a in self.table_accumulators.items()
+            },
+            dense={k: v.copy() for k, v in self.dense.items()},
+            reader_state=self.reader_state,
+            batches_trained=self.batches_trained,
+            samples_trained=self.samples_trained,
+            batches_left=self.batches_left,
+            interval_index=self.interval_index,
+        )

@@ -51,9 +51,18 @@ TIER_PROD = "prod"
 #: Priority tier of experimental jobs: served by fair queueing only
 #: when no prod or serving stream is backlogged.
 TIER_EXPERIMENTAL = "experimental"
+#: Priority tier of peer-replication delta streams: best-effort mirror
+#: traffic that must never delay checkpoint writes, so it ranks below
+#: every training tier on a contended link.
+TIER_REPLICATION = "replication"
 
 #: Tier service order on a contended link (lower rank serves first).
-TIER_RANK = {TIER_SERVING: 0, TIER_PROD: 1, TIER_EXPERIMENTAL: 2}
+TIER_RANK = {
+    TIER_SERVING: 0,
+    TIER_PROD: 1,
+    TIER_EXPERIMENTAL: 2,
+    TIER_REPLICATION: 3,
+}
 
 
 @dataclass(frozen=True)

@@ -348,6 +348,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore-chain length bound under --retention storm_aware",
     )
     fleet.add_argument(
+        "--adaptive-chain", action="store_true",
+        help="derive each job's storm chain limit from its expected "
+        "storm read cost vs baseline-refresh write cost instead of "
+        "the fixed --storm-chain-limit (requires --retention "
+        "storm_aware)",
+    )
+    fleet.add_argument(
+        "--restore-order", choices=["manifest", "hot_first"],
+        default="manifest",
+        help="row order for restore reads: 'hot_first' streams the "
+        "hottest embedding rows first so training resumes before the "
+        "full restore lands (improves time-to-first-batch in storm "
+        "drains)",
+    )
+    fleet.add_argument(
+        "--replicate-k", type=int, default=0, metavar="K",
+        help="mirror each job's per-step delta into K peer jobs' "
+        "bounded memory rings (a replication stream class below prod "
+        "writes); the store only receives retention-boundary baseline "
+        "flushes and recovery prefers the nearest live replica "
+        "(same rack > cross rack > object store)",
+    )
+    fleet.add_argument(
+        "--peer-ring-bytes", type=int, default=2 * 1024 * 1024,
+        metavar="BYTES",
+        help="per-replica delta-log capacity; older deltas fold into "
+        "the ring's anchor when the log would overflow",
+    )
+    fleet.add_argument(
+        "--baseline-flush-intervals", type=int, default=2,
+        metavar="N",
+        help="with --replicate-k, flush a full baseline to the store "
+        "every Nth checkpoint interval (others are replicated only)",
+    )
+    fleet.add_argument(
         "--quota-bytes", type=int, default=None,
         help="per-job live physical-byte quota on the shared store",
     )
@@ -654,6 +689,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         restore_backlog_factor=args.restore_backlog_factor,
         retention_mode=args.retention,
         storm_chain_limit=args.storm_chain_limit,
+        storm_chain_adaptive=args.adaptive_chain,
+        restore_order=args.restore_order,
+        replicate_k=args.replicate_k,
+        peer_ring_bytes=args.peer_ring_bytes,
+        baseline_flush_intervals=args.baseline_flush_intervals,
         per_job_quota_bytes=args.quota_bytes,
         inject_failures=not args.no_failures,
         priority_mix=args.priority_mix,
@@ -683,9 +723,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.restore_admission != "none":
         variant += f", restore admission {args.restore_admission}"
     if args.retention != "chain_depth":
+        if args.adaptive_chain:
+            variant += f", retention {args.retention} (adaptive chain)"
+        else:
+            variant += (
+                f", retention {args.retention}"
+                f" (chain <= {args.storm_chain_limit})"
+            )
+    if args.restore_order != "manifest":
+        variant += f", restore order {args.restore_order}"
+    if args.replicate_k > 0:
         variant += (
-            f", retention {args.retention}"
-            f" (chain <= {args.storm_chain_limit})"
+            f", replicate k={args.replicate_k} "
+            f"(ring {args.peer_ring_bytes} B, baseline every "
+            f"{args.baseline_flush_intervals})"
         )
     if args.failure_prob > 0.0 and args.backend == "s3like":
         variant += f", failure prob {args.failure_prob:g}"

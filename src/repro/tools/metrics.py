@@ -246,6 +246,56 @@ def fleet_metrics(report) -> list[Metric]:
             report.cache_dirty_backlog,
             help="Dirty objects still unflushed at end of run.",
         ),
+        Metric(
+            f"{PREFIX}_fleet_repl_k",
+            report.replicate_k,
+            help="Peer replicas per job (0 = replication off).",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_peer_restores",
+            report.repl_peer_restores,
+            help="Recoveries served from a peer memory ring instead "
+            "of the object store.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_store_fallbacks",
+            report.repl_store_fallbacks,
+            help="Recoveries that fell through to the object store "
+            "because no replica survived the failure domain.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_deltas_sent",
+            report.repl_deltas_sent,
+            help="Per-step deltas mirrored into peer rings.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_bytes_sent",
+            report.repl_bytes_sent,
+            help="Bytes mirrored over the replication stream class.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_partial_discards",
+            report.repl_partial_discards,
+            help="Replica sends torn by a crash mid-transfer and "
+            "discarded (never readable as a restore source).",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_rings_lost",
+            report.repl_rings_lost,
+            help="Peer rings destroyed because their host job died.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_rings_rebuilt",
+            report.repl_rings_rebuilt,
+            help="Rings rebuilt by anchor resend after a baseline "
+            "flush.",
+        ),
+        Metric(
+            f"{PREFIX}_fleet_repl_ring_evictions",
+            report.repl_ring_evictions,
+            help="Oldest deltas folded into ring anchors under "
+            "capacity pressure.",
+        ),
     ]
 
 

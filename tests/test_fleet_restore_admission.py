@@ -385,3 +385,119 @@ class TestFleetReadSide:
     def test_storm_aware_retention_requires_a_storm(self):
         with pytest.raises(Exception):
             FleetConfig(retention_mode="storm_aware")
+
+
+class TestAdaptiveChainLimit:
+    """Per-job storm chain bound from read-cost vs refresh-cost."""
+
+    def test_optimum_balances_refresh_writes_and_storm_reads(self):
+        """L* = sqrt(baseline / (w * delta)): doubling the baseline
+        stretches chains, heavier deltas or costlier reads shorten
+        them."""
+        from repro.fleet.jobs import adaptive_chain_limit
+
+        base = adaptive_chain_limit(
+            baseline_bytes=1 << 24, interval_delta_bytes=1 << 20
+        )
+        bigger_baseline = adaptive_chain_limit(
+            baseline_bytes=1 << 26, interval_delta_bytes=1 << 20
+        )
+        heavier_delta = adaptive_chain_limit(
+            baseline_bytes=1 << 24, interval_delta_bytes=1 << 23
+        )
+        costlier_reads = adaptive_chain_limit(
+            baseline_bytes=1 << 24,
+            interval_delta_bytes=1 << 20,
+            storm_read_weight=4.0,
+        )
+        assert bigger_baseline >= base
+        assert heavier_delta <= base
+        assert costlier_reads <= base
+        # sqrt(2^24 / 2^20) = 4: the closed form lands exactly.
+        assert base == 4
+
+    def test_clamps_to_floor_and_cap(self):
+        from repro.fleet.jobs import adaptive_chain_limit
+
+        assert (
+            adaptive_chain_limit(
+                baseline_bytes=1, interval_delta_bytes=1 << 30
+            )
+            == 1
+        )
+        assert (
+            adaptive_chain_limit(
+                baseline_bytes=1 << 40, interval_delta_bytes=1
+            )
+            == 8
+        )
+        assert (
+            adaptive_chain_limit(
+                baseline_bytes=0, interval_delta_bytes=100
+            )
+            == 1
+        )
+
+    def test_spec_chain_limit_wiring(self):
+        """Adaptive mode derives per-spec limits; fixed mode passes
+        the config knob through; chain_depth mode stays unbounded."""
+        from repro.fleet.jobs import (
+            sample_fleet_specs,
+            spec_baseline_bytes,
+            spec_chain_limit,
+        )
+
+        fixed = storm_fleet_config(
+            retention_mode="storm_aware", storm_chain_limit=3
+        )
+        adaptive = storm_fleet_config(
+            retention_mode="storm_aware",
+            storm_chain_adaptive=True,
+            # Heterogeneous sizes so the derived limits can differ.
+            rows_per_table_choices=(512, 2048, 8192),
+            num_tables_choices=(1, 4),
+        )
+        plain = storm_fleet_config()
+        spec = sample_fleet_specs(fixed)[0]
+        assert spec_chain_limit(spec, fixed) == 3
+        assert spec_chain_limit(spec, plain) is None
+        limits = {
+            s.job_id: spec_chain_limit(s, adaptive)
+            for s in sample_fleet_specs(adaptive)
+        }
+        assert all(1 <= limit <= 8 for limit in limits.values())
+        # Bigger models (costlier baseline refreshes) tolerate longer
+        # chains than small ones under the same storm-read weight.
+        by_size = sorted(
+            sample_fleet_specs(adaptive),
+            key=lambda s: spec_baseline_bytes(s, adaptive),
+        )
+        assert limits[by_size[0].job_id] <= limits[by_size[-1].job_id]
+
+    def test_adaptive_fleet_honours_derived_bounds(self):
+        """End to end: every bounded job's restore chain fits its own
+        derived limit, and the knob stays deterministic."""
+        from repro.fleet.jobs import sample_fleet_specs, spec_chain_limit
+
+        config = storm_fleet_config(
+            retention_mode="storm_aware", storm_chain_adaptive=True
+        )
+        limits = {
+            s.job_id: spec_chain_limit(s, config)
+            for s in sample_fleet_specs(config)
+        }
+        scheduler, first = run_fleet(config)
+        for job in scheduler.jobs:
+            limit = limits[job.job_id]
+            assert limit is not None
+            for manifest in job.controller.valid_manifests():
+                chain = job.controller.policy.restore_chain(
+                    manifest, job.controller.manifests
+                )
+                assert len(chain) <= limit
+        _, second = run_fleet(config)
+        assert first == second
+
+    def test_adaptive_requires_storm_aware_retention(self):
+        with pytest.raises(Exception):
+            FleetConfig(storm_chain_adaptive=True)

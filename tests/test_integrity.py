@@ -468,6 +468,15 @@ class TestMetricsTextfile:
             cache_evictions=4,
             cache_dirty_flushes=6,
             cache_dirty_backlog=2,
+            replicate_k=2,
+            repl_peer_restores=3,
+            repl_store_fallbacks=1,
+            repl_deltas_sent=40,
+            repl_bytes_sent=8192,
+            repl_partial_discards=1,
+            repl_rings_lost=2,
+            repl_rings_rebuilt=2,
+            repl_ring_evictions=5,
         )
         text = render_textfile(fleet_metrics(report))
         assert "repro_fleet_bitrot_injected_writes 5" in text
@@ -477,3 +486,6 @@ class TestMetricsTextfile:
         assert "repro_fleet_cache_capacity_bytes 65536" in text
         assert "repro_fleet_cache_hits 7" in text
         assert "repro_fleet_cache_dirty_backlog 2" in text
+        assert "repro_fleet_repl_k 2" in text
+        assert "repro_fleet_repl_peer_restores 3" in text
+        assert "repro_fleet_repl_ring_evictions 5" in text

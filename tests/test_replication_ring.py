@@ -1,0 +1,251 @@
+"""Property-based invariants for the bounded peer-memory delta ring.
+
+The ring's contract (``repro.replication.ring``) is payload-agnostic:
+anchors expose ``apply``/``copy``/``step`` and deltas expose ``step``,
+so these tests drive it with dict-backed fakes and check the structural
+invariants the replication tier leans on:
+
+* **fold equivalence** — ``materialize()`` equals the initial anchor
+  with every committed delta applied in commit order, *no matter where
+  eviction folded the log* (randomized sizes and capacities);
+* **bounded log** — ``used_bytes`` never exceeds capacity and always
+  equals the sum of logged entries;
+* **two-phase append** — an aborted reservation leaves the replica
+  bit-identical to its pre-reserve state (partial sends vanish);
+* **monotonic contiguity** — commits must strictly advance the replica
+  step, so a forked or replayed delta log fails loudly;
+* **fold-through** — a delta larger than the whole budget applies
+  straight to the anchor and the ring stays consistent.
+
+Property loops are hand-rolled over ``random.Random`` seeds (no
+external property-testing dependency).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ReplicationError
+from repro.replication import MemoryRing
+
+
+class FakeDelta:
+    """Dict payload + the ``step`` attribute the ring contract needs."""
+
+    def __init__(self, step: int, data: dict):
+        self.step = step
+        self.data = data
+
+
+class FakeAnchor:
+    """Dict-backed anchor implementing apply/copy/step."""
+
+    def __init__(self, step: int = 0, data: dict | None = None):
+        self.step = step
+        self.data = dict(data or {})
+
+    def apply(self, delta: FakeDelta) -> None:
+        self.data.update(delta.data)
+        self.step = delta.step
+
+    def copy(self) -> "FakeAnchor":
+        return FakeAnchor(self.step, dict(self.data))
+
+
+def make_ring(capacity: int = 100) -> MemoryRing:
+    return MemoryRing(
+        owner_id="owner",
+        host_id="host",
+        capacity_bytes=capacity,
+        anchor=FakeAnchor(step=0, data={"init": 0}),
+    )
+
+
+def reference_state(committed: list[FakeDelta]) -> dict:
+    """Ground truth: initial anchor + every committed delta in order."""
+    state = {"init": 0}
+    for delta in committed:
+        state.update(delta.data)
+    return state
+
+
+class TestRingBasics:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ReplicationError):
+            make_ring(capacity=0)
+
+    def test_rejects_negative_reservation(self):
+        ring = make_ring()
+        with pytest.raises(ReplicationError):
+            ring.reserve(-1)
+
+    def test_commit_appends_and_advances_step(self):
+        ring = make_ring()
+        reservation = ring.reserve(10)
+        ring.commit(reservation, FakeDelta(1, {"k1": 1}))
+        assert ring.depth == 1
+        assert ring.last_step == 1
+        assert ring.used_bytes == 10
+        assert ring.materialize().data == {"init": 0, "k1": 1}
+        ring.check_invariants()
+
+    def test_commit_requires_strictly_increasing_steps(self):
+        ring = make_ring()
+        ring.commit(ring.reserve(5), FakeDelta(3, {"a": 1}))
+        for stale_step in (3, 2, 0):
+            with pytest.raises(ReplicationError):
+                ring.commit(
+                    ring.reserve(5), FakeDelta(stale_step, {"b": 2})
+                )
+        # The failed commits closed their reservations; a fresh append
+        # at a later step still lands.
+        ring.commit(ring.reserve(5), FakeDelta(4, {"b": 2}))
+        assert ring.last_step == 4
+
+    def test_reservation_cannot_close_twice(self):
+        ring = make_ring()
+        reservation = ring.reserve(5)
+        ring.commit(reservation, FakeDelta(1, {"a": 1}))
+        with pytest.raises(ReplicationError):
+            ring.commit(reservation, FakeDelta(2, {"a": 2}))
+        with pytest.raises(ReplicationError):
+            ring.abort(reservation)
+
+    def test_abort_is_a_perfect_undo(self):
+        ring = make_ring()
+        ring.commit(ring.reserve(10), FakeDelta(1, {"a": 1}))
+        before = ring.materialize().data
+        before_step = ring.last_step
+        before_used = ring.used_bytes
+        ring.abort(ring.reserve(20))
+        assert ring.materialize().data == before
+        assert ring.last_step == before_step
+        assert ring.used_bytes == before_used
+        assert ring.aborts == 1
+        ring.check_invariants()
+
+    def test_eviction_folds_oldest_into_anchor(self):
+        ring = make_ring(capacity=20)
+        ring.commit(ring.reserve(10), FakeDelta(1, {"a": 1}))
+        ring.commit(ring.reserve(10), FakeDelta(2, {"b": 2}))
+        # A third 10-byte delta forces the oldest out — folded, not
+        # dropped: the replica still contains every committed write.
+        ring.commit(ring.reserve(10), FakeDelta(3, {"c": 3}))
+        assert ring.depth == 2
+        assert ring.evictions == 1
+        assert ring.anchor.step == 1
+        assert ring.materialize().data == {
+            "init": 0, "a": 1, "b": 2, "c": 3,
+        }
+        ring.check_invariants()
+
+    def test_fold_through_oversized_delta(self):
+        ring = make_ring(capacity=10)
+        reservation = ring.reserve(50)
+        assert reservation.fold_through
+        ring.commit(reservation, FakeDelta(1, {"big": 1}))
+        assert ring.depth == 0  # never logged
+        assert ring.used_bytes == 0
+        assert ring.anchor.step == 1
+        assert ring.last_step == 1
+        assert ring.evictions == 1
+        assert ring.materialize().data == {"init": 0, "big": 1}
+        ring.check_invariants()
+
+    def test_aborted_fold_through_leaves_anchor_alone(self):
+        ring = make_ring(capacity=10)
+        reservation = ring.reserve(50)
+        ring.abort(reservation)
+        assert ring.anchor.step == 0
+        assert ring.used_bytes == 0
+        ring.check_invariants()
+
+    def test_rebase_folds_whole_log(self):
+        ring = make_ring()
+        ring.commit(ring.reserve(10), FakeDelta(1, {"a": 1}))
+        ring.commit(ring.reserve(10), FakeDelta(2, {"b": 2}))
+        expected = ring.materialize().data
+        ring.rebase()
+        assert ring.depth == 0
+        assert ring.used_bytes == 0
+        assert ring.anchor.step == 2
+        assert ring.anchor.data == expected
+        # Post-rebase appends continue from the folded step.
+        ring.commit(ring.reserve(10), FakeDelta(3, {"c": 3}))
+        assert ring.last_step == 3
+        ring.check_invariants()
+
+
+class TestRingProperties:
+    """Randomized op sequences; every seed checks the full contract."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fold_equivalence_under_random_traffic(self, seed):
+        """materialize == anchor + committed deltas, for any eviction
+        pattern random sizes/capacity produce."""
+        rng = random.Random(seed)
+        capacity = rng.randint(8, 120)
+        ring = make_ring(capacity=capacity)
+        committed: list[FakeDelta] = []
+        step = 0
+        for op_index in range(rng.randint(20, 60)):
+            step += rng.randint(1, 3)
+            nbytes = rng.randint(0, capacity + 30)
+            delta = FakeDelta(
+                step, {f"k{rng.randint(0, 9)}": op_index}
+            )
+            reservation = ring.reserve(nbytes)
+            assert reservation.fold_through == (nbytes > capacity)
+            if rng.random() < 0.2:
+                ring.abort(reservation)
+            else:
+                ring.commit(reservation, delta)
+                committed.append(delta)
+            ring.check_invariants()
+            assert ring.used_bytes <= capacity
+            if rng.random() < 0.1:
+                ring.rebase()
+                ring.check_invariants()
+                assert ring.depth == 0
+        state = ring.materialize()
+        assert state.data == reference_state(committed)
+        if committed:
+            assert ring.last_step == committed[-1].step
+            assert state.step == committed[-1].step
+        assert ring.commits == len(committed)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_materialize_is_nondestructive(self, seed):
+        rng = random.Random(seed)
+        ring = make_ring(capacity=64)
+        step = 0
+        for i in range(15):
+            step += 1
+            ring.commit(
+                ring.reserve(rng.randint(1, 30)),
+                FakeDelta(step, {"k": i}),
+            )
+        first = ring.materialize().data
+        second = ring.materialize().data
+        assert first == second
+        ring.check_invariants()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_reserved_bytes_count_against_capacity(self, seed):
+        """Open reservations squeeze the log like committed bytes do:
+        committing after a competing reserve never over-fills."""
+        rng = random.Random(seed)
+        capacity = 50
+        ring = make_ring(capacity=capacity)
+        step = 0
+        for _ in range(20):
+            step += 1
+            first = ring.reserve(rng.randint(5, 25))
+            second = ring.reserve(rng.randint(5, 25))
+            ring.commit(first, FakeDelta(step, {"a": step}))
+            step += 1
+            ring.commit(second, FakeDelta(step, {"b": step}))
+            ring.check_invariants()
+            assert ring.used_bytes <= capacity
